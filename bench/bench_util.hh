@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared plumbing for the figure-regeneration benches: build a
+ * workload, trace it, run a policy lineup, and print paper-style
+ * tables.
+ */
+
+#ifndef POLYFLOW_BENCH_BENCH_UTIL_HH
+#define POLYFLOW_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "isa/functional_sim.hh"
+#include "sim/core.hh"
+#include "spawn/policy.hh"
+#include "spawn/spawn_analysis.hh"
+#include "stats/table.hh"
+#include "workloads/workloads.hh"
+
+namespace polyflow::bench {
+
+/** Workload scale for benches; override with PF_BENCH_SCALE. */
+inline double
+benchScale()
+{
+    if (const char *s = std::getenv("PF_BENCH_SCALE"))
+        return std::atof(s);
+    return 1.0;
+}
+
+/** A traced workload ready for timing runs. */
+struct TracedWorkload
+{
+    Workload workload;
+    Trace trace;
+    std::unique_ptr<FuncSimResult> funcResult;  // owns the trace data
+};
+
+inline TracedWorkload
+traceWorkload(const std::string &name, double scale)
+{
+    TracedWorkload tw;
+    tw.workload = buildWorkload(name, scale);
+    FuncSimOptions opt;
+    opt.recordTrace = true;
+    tw.funcResult = std::make_unique<FuncSimResult>(
+        runFunctional(tw.workload.prog, opt));
+    if (!tw.funcResult->halted)
+        throw std::runtime_error(name + ": did not halt");
+    tw.trace = std::move(tw.funcResult->trace);
+    return tw;
+}
+
+/** Superscalar baseline run. */
+inline SimResult
+runBaseline(const TracedWorkload &tw)
+{
+    return simulate(MachineConfig::superscalar(), tw.trace, nullptr,
+                    "superscalar");
+}
+
+/** One PolyFlow run under a static policy. */
+inline SimResult
+runPolicy(const TracedWorkload &tw, const SpawnPolicy &policy,
+          const MachineConfig &cfg = MachineConfig{})
+{
+    SpawnAnalysis sa(*tw.workload.module, tw.workload.prog);
+    StaticSpawnSource src(HintTable(sa, policy));
+    return simulate(cfg, tw.trace, &src, policy.name);
+}
+
+/** Standard bench banner with the machine configuration. */
+inline void
+banner(const std::string &title)
+{
+    MachineConfig cfg;
+    std::cout << "=== " << title << " ===\n"
+              << "machine (Figure 8): " << cfg.describe() << "\n"
+              << "workload scale: " << benchScale() << "\n\n";
+}
+
+} // namespace polyflow::bench
+
+#endif // POLYFLOW_BENCH_BENCH_UTIL_HH

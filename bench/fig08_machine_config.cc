@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 8: the pipeline parameter table. Printed from the live
+ * MachineConfig so the table can never drift from what the other
+ * benches actually simulate.
+ */
+
+#include <iostream>
+
+#include "sim/config.hh"
+#include "stats/table.hh"
+
+using namespace polyflow;
+
+int
+main()
+{
+    MachineConfig c;
+    std::cout << "=== Figure 8: pipeline parameters ===\n\n";
+
+    Table t({"Parameter", "Value"});
+    auto row = [&](const std::string &k, const std::string &v) {
+        t.startRow();
+        t.cell(k);
+        t.cell(v);
+    };
+    row("Pipeline Width",
+        std::to_string(c.pipelineWidth) + " instrs/cycle");
+    row("Branch Predictor",
+        std::to_string(c.gshareCounters * 2 / 1024) +
+            "Kbit gshare, " + std::to_string(c.historyBits) +
+            " bits of global history");
+    row("Misprediction Penalty",
+        "At least " + std::to_string(c.minMispredictPenalty) +
+            " cycles");
+    row("Reorder Buffer",
+        std::to_string(c.robEntries) +
+            " entries, dynamically shared");
+    row("Scheduler",
+        std::to_string(c.schedEntries) +
+            " entries, dynamically shared");
+    row("Functional Units",
+        std::to_string(c.numFUs) +
+            " identical general purpose units");
+    auto cache = [](const CacheConfig &cc) {
+        return std::to_string(cc.sizeBytes / 1024) + "Kbytes, " +
+            std::to_string(cc.assoc) + "-way set assoc., " +
+            std::to_string(cc.lineBytes) + " byte lines, " +
+            std::to_string(cc.missLatency) + " cycle miss";
+    };
+    row("L1 I-Cache", cache(c.l1i));
+    row("L1 D-Cache", cache(c.l1d));
+    row("L2 Cache", cache(c.l2));
+    row("Divert Queue",
+        std::to_string(c.divertEntries) +
+            " entries, dynamically shared");
+    row("Tasks", std::to_string(c.numTasks));
+
+    t.print(std::cout);
+
+    std::cout << "\nModel-specific knobs (DESIGN.md Section 7):\n";
+    Table k({"Knob", "Value"});
+    auto krow = [&](const std::string &a, long long v) {
+        k.startRow();
+        k.cell(a);
+        k.cell(v);
+    };
+    krow("fetchTasksPerCycle", c.fetchTasksPerCycle);
+    krow("maxTakenPerTaskCycle", c.maxTakenPerTaskCycle);
+    krow("fetchQueueEntries", c.fetchQueueEntries);
+    krow("frontendDepth", c.frontendDepth);
+    krow("mulLatency", c.mulLatency);
+    krow("divLatency", c.divLatency);
+    krow("loadLatency", c.loadLatency);
+    krow("maxSpawnDistance", c.maxSpawnDistance);
+    krow("minSpawnDistance", c.minSpawnDistance);
+    krow("spawnStartupDelay", c.spawnStartupDelay);
+    krow("divertReleaseDelay", c.divertReleaseDelay);
+    krow("squashRestartPenalty", c.squashRestartPenalty);
+    krow("robReservePerOlderTask", c.robReservePerOlderTask);
+    krow("returnStackEntries", c.returnStackEntries);
+    krow("spawnFeedback", c.spawnFeedback);
+    krow("wrongPathGhosts", c.wrongPathGhosts);
+    krow("compilerDepHints", c.compilerDepHints);
+    krow("spawnFromAnyTask", c.spawnFromAnyTask);
+    k.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 10: combinations of heuristics for spawn points. Compares
+ * the three widely-used heuristic combinations (loop + loopFT,
+ * loopFT + procFT, loop + procFT + loopFT) against spawning from
+ * immediate postdominators.
+ */
+
+#include "bench_util.hh"
+
+using namespace polyflow;
+using namespace polyflow::bench;
+
+int
+main()
+{
+    banner("Figure 10: heuristic combinations vs postdominators "
+           "(speedup % over superscalar)");
+
+    const std::vector<SpawnPolicy> policies = {
+        SpawnPolicy::loopPlusLoopFT(),
+        SpawnPolicy::loopFTPlusProcFT(),
+        SpawnPolicy::loopProcFTLoopFT(),
+        SpawnPolicy::postdoms(),
+    };
+
+    std::vector<std::string> header = {"benchmark"};
+    for (const auto &p : policies)
+        header.push_back(p.name);
+    Table table(header);
+
+    std::vector<std::vector<double>> columns(policies.size());
+    for (const std::string &name : allWorkloadNames()) {
+        TracedWorkload tw = traceWorkload(name, benchScale());
+        SimResult base = runBaseline(tw);
+        table.startRow();
+        table.cell(name);
+        for (size_t i = 0; i < policies.size(); ++i) {
+            SimResult r = runPolicy(tw, policies[i]);
+            double s = r.speedupOver(base);
+            columns[i].push_back(s);
+            table.cell(s, 1);
+        }
+    }
+    table.startRow();
+    table.cell(std::string("Average"));
+    for (auto &col : columns)
+        table.cell(mean(col), 1);
+
+    table.print(std::cout);
+    table.writeCsv("fig10.csv");
+
+    double bestCombo = 0;
+    for (size_t i = 0; i + 1 < columns.size(); ++i)
+        bestCombo = std::max(bestCombo, mean(columns[i]));
+    std::cout << "\npostdoms avg = " << mean(columns.back())
+              << "%, best combination avg = " << bestCombo << "%\n";
+    return 0;
+}

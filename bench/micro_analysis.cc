@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the compiler-side analyses:
+ * CHK postdominators vs the iterative-dataflow reference, control
+ * dependence construction, loop detection, and whole-module spawn
+ * analysis.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/cfg_view.hh"
+#include "analysis/control_dep.hh"
+#include "analysis/dominators.hh"
+#include "analysis/iterative_dom.hh"
+#include "analysis/loops.hh"
+#include "spawn/spawn_analysis.hh"
+#include "workloads/workloads.hh"
+
+using namespace polyflow;
+
+namespace {
+
+/** The biggest single-function CFG in the suite (twolf's kernel). */
+const Workload &
+workload()
+{
+    static Workload w = buildWorkload("gcc", 0.02);
+    return w;
+}
+
+void
+BM_PostdominatorsChk(benchmark::State &state)
+{
+    const Function &fn = workload().module->function(0);
+    CfgView cfg(fn);
+    for (auto _ : state) {
+        PostDominatorTree pdt(cfg);
+        benchmark::DoNotOptimize(pdt.root());
+    }
+}
+BENCHMARK(BM_PostdominatorsChk);
+
+void
+BM_PostdominatorsIterative(benchmark::State &state)
+{
+    const Function &fn = workload().module->function(0);
+    CfgView cfg(fn);
+    for (auto _ : state) {
+        auto sets = iterativePostDoms(cfg);
+        benchmark::DoNotOptimize(sets.size());
+    }
+}
+BENCHMARK(BM_PostdominatorsIterative);
+
+void
+BM_ControlDependence(benchmark::State &state)
+{
+    const Function &fn = workload().module->function(0);
+    CfgView cfg(fn);
+    PostDominatorTree pdt(cfg);
+    for (auto _ : state) {
+        ControlDepGraph cdg(cfg, pdt);
+        benchmark::DoNotOptimize(cdg.numNodes());
+    }
+}
+BENCHMARK(BM_ControlDependence);
+
+void
+BM_LoopForest(benchmark::State &state)
+{
+    const Function &fn = workload().module->function(0);
+    CfgView cfg(fn);
+    DominatorTree dt(cfg);
+    for (auto _ : state) {
+        LoopForest loops(cfg, dt);
+        benchmark::DoNotOptimize(loops.numLoops());
+    }
+}
+BENCHMARK(BM_LoopForest);
+
+void
+BM_WholeModuleSpawnAnalysis(benchmark::State &state)
+{
+    const Workload &w = workload();
+    for (auto _ : state) {
+        SpawnAnalysis sa(*w.module, w.prog);
+        benchmark::DoNotOptimize(sa.points().size());
+    }
+}
+BENCHMARK(BM_WholeModuleSpawnAnalysis);
+
+} // namespace
+
+BENCHMARK_MAIN();

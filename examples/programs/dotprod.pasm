@@ -1,0 +1,55 @@
+; Dot product of two 128-word vectors with a data-dependent
+; saturation hammock inside the loop — a compact example whose
+; postdominator spawn points the PolyFlow machine can exploit.
+; Run with:  pfasm examples/programs/dotprod.pasm --sim
+
+.data vecA 1024
+.data vecB 1024
+
+.func init
+    ; a0 = base, a1 = seed: fill 128 words
+    li   t1, 128
+loop:
+    slli t2, a1, 13
+    xor  a1, a1, t2
+    srli t2, a1, 7
+    xor  a1, a1, t2
+    andi t3, a1, 0x3ff
+    sd   t3, 0(a0)
+    addi a0, a0, 8
+    addi t1, t1, -1
+    bne  t1, zero, loop
+    ret
+.endfunc
+
+.func main
+.entry
+    li   a0, vecA
+    li   a1, 12345
+    call init
+    li   a0, vecB
+    li   a1, 67890
+    call init
+
+    li   t0, vecA
+    li   t1, vecB
+    li   t2, 128
+    li   s0, 0              ; accumulator
+dot:
+    ld   t3, 0(t0)
+    ld   t4, 0(t1)
+    mul  t5, t3, t4
+    ; saturation hammock: clamp large products (~50% taken)
+    li   t6, 0x40000
+    blt  t5, t6, accum
+    addi t5, t6, -1
+accum:
+    add  s0, s0, t5
+    addi t0, t0, 8
+    addi t1, t1, 8
+    addi t2, t2, -1
+    bne  t2, zero, dot
+done:
+    addi a0, s0, 0
+    halt
+.endfunc

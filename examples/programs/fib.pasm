@@ -1,0 +1,36 @@
+; Recursive Fibonacci: fib(18) -> a0.
+; Demonstrates calls, the stack and recursion in PRISC assembly.
+; Run with:  pfasm examples/programs/fib.pasm --sim --dump-regs
+
+.func fib
+    ; a0 = n; returns a0 = fib(n)
+    li   t0, 2
+    blt  a0, t0, base
+recurse:
+    addi sp, sp, -24
+    sd   ra, 0(sp)
+    sd   s0, 8(sp)
+    sd   s1, 16(sp)
+    addi s0, a0, 0          ; save n
+    addi a0, a0, -1
+    call fib                ; fib(n-1)
+    addi s1, a0, 0
+    addi a0, s0, -2
+    call fib                ; fib(n-2)
+    add  a0, a0, s1
+    ld   ra, 0(sp)
+    ld   s0, 8(sp)
+    ld   s1, 16(sp)
+    addi sp, sp, 24
+    ret
+base:
+    ; fib(0)=0, fib(1)=1: n < 2 returns n itself
+    ret
+.endfunc
+
+.func main
+.entry
+    li   a0, 18
+    call fib
+    halt
+.endfunc

@@ -1,0 +1,72 @@
+; Insertion sort over a 64-word array initialized with a xorshift
+; PRNG written in PRISC itself, followed by a verification pass that
+; leaves 1 in a0 iff the array is sorted.
+; Run with:  pfasm examples/programs/sort.pasm --sim --dump-regs
+
+.data arr 512
+
+.func main
+.entry
+    ; ---- fill arr with pseudo-random words ----
+    li   t0, arr
+    li   t1, 64
+    li   t2, 0x9e3779b97f4a7c15
+fill:
+    slli t3, t2, 13
+    xor  t2, t2, t3
+    srli t3, t2, 7
+    xor  t2, t2, t3
+    slli t3, t2, 17
+    xor  t2, t2, t3
+    andi t4, t2, 0xffff
+    sd   t4, 0(t0)
+    addi t0, t0, 8
+    addi t1, t1, -1
+    bne  t1, zero, fill
+
+    ; ---- insertion sort ----
+    li   s0, 1              ; i = 1
+outer:
+    li   t5, 64
+    bge  s0, t5, verify
+    ; key = arr[i]
+    slli t0, s0, 3
+    li   t6, arr
+    add  t0, t0, t6
+    ld   s1, 0(t0)          ; key
+    addi s2, s0, -1         ; j = i - 1
+inner:
+    bltz s2, place
+    slli t0, s2, 3
+    li   t6, arr
+    add  t0, t0, t6
+    ld   t1, 0(t0)          ; arr[j]
+    bge  s1, t1, place      ; key >= arr[j]: stop shifting
+    sd   t1, 8(t0)          ; arr[j+1] = arr[j]
+    addi s2, s2, -1
+    j    inner
+place:
+    addi t2, s2, 1
+    slli t0, t2, 3
+    li   t6, arr
+    add  t0, t0, t6
+    sd   s1, 0(t0)          ; arr[j+1] = key
+    addi s0, s0, 1
+    j    outer
+
+    ; ---- verify ----
+verify:
+    li   a0, 1
+    li   t0, arr
+    li   t1, 63
+check:
+    ld   t2, 0(t0)
+    ld   t3, 8(t0)
+    bge  t3, t2, ok
+    li   a0, 0              ; out of order
+ok:
+    addi t0, t0, 8
+    addi t1, t1, -1
+    bne  t1, zero, check
+    halt
+.endfunc

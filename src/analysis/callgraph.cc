@@ -1,0 +1,67 @@
+#include "analysis/callgraph.hh"
+
+#include <algorithm>
+
+namespace polyflow {
+
+CallGraph::CallGraph(const Module &mod)
+{
+    size_t nf = mod.numFunctions();
+    _callees.assign(nf, {});
+    _callers.assign(nf, {});
+
+    for (size_t f = 0; f < nf; ++f) {
+        const Function &fn = mod.function(static_cast<FuncId>(f));
+        for (size_t b = 0; b < fn.numBlocks(); ++b) {
+            const BasicBlock &bb = fn.block(static_cast<BlockId>(b));
+            for (size_t i = 0; i < bb.size(); ++i) {
+                const Instruction &in = bb.instrs()[i];
+                if (!in.isCall())
+                    continue;
+                CallSite site;
+                site.caller = static_cast<FuncId>(f);
+                site.block = static_cast<BlockId>(b);
+                site.instrIdx = static_cast<int>(i);
+                site.callee = (in.op == Opcode::JAL) ? in.targetFunc
+                                                     : invalidFunc;
+                _sites.push_back(site);
+                if (site.callee != invalidFunc) {
+                    _callees[f].push_back(site.callee);
+                    _callers[site.callee].push_back(
+                        static_cast<FuncId>(f));
+                }
+            }
+        }
+    }
+    auto dedup = [](std::vector<FuncId> &v) {
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+    };
+    for (auto &v : _callees)
+        dedup(v);
+    for (auto &v : _callers)
+        dedup(v);
+}
+
+bool
+CallGraph::reaches(FuncId f, FuncId g) const
+{
+    std::vector<bool> seen(_callees.size(), false);
+    std::vector<FuncId> work;
+    for (FuncId c : _callees[f])
+        work.push_back(c);
+    while (!work.empty()) {
+        FuncId x = work.back();
+        work.pop_back();
+        if (x == g)
+            return true;
+        if (seen[x])
+            continue;
+        seen[x] = true;
+        for (FuncId c : _callees[x])
+            work.push_back(c);
+    }
+    return false;
+}
+
+} // namespace polyflow

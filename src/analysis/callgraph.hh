@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Static call graph of a module (direct calls only; indirect calls
+ * are recorded as unresolved sites).
+ */
+
+#ifndef POLYFLOW_ANALYSIS_CALLGRAPH_HH
+#define POLYFLOW_ANALYSIS_CALLGRAPH_HH
+
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace polyflow {
+
+/** One call site. */
+struct CallSite
+{
+    FuncId caller;
+    BlockId block;
+    int instrIdx;      //!< index within the block
+    FuncId callee;     //!< invalidFunc for indirect calls
+};
+
+/** Direct call graph over a module's functions. */
+class CallGraph
+{
+  public:
+    explicit CallGraph(const Module &mod);
+
+    const std::vector<CallSite> &sites() const { return _sites; }
+
+    /** Functions directly called by @p f (deduplicated). */
+    const std::vector<FuncId> &calleesOf(FuncId f) const
+    {
+        return _callees[f];
+    }
+    const std::vector<FuncId> &callersOf(FuncId f) const
+    {
+        return _callers[f];
+    }
+
+    /** True if @p f can (transitively) reach @p g by direct calls. */
+    bool reaches(FuncId f, FuncId g) const;
+
+    /** True if @p f sits on a direct-call cycle (recursion). */
+    bool isRecursive(FuncId f) const { return reaches(f, f); }
+
+  private:
+    std::vector<CallSite> _sites;
+    std::vector<std::vector<FuncId>> _callees;
+    std::vector<std::vector<FuncId>> _callers;
+};
+
+} // namespace polyflow
+
+#endif // POLYFLOW_ANALYSIS_CALLGRAPH_HH

@@ -1,0 +1,91 @@
+#include "analysis/cfg_view.hh"
+
+#include <algorithm>
+
+namespace polyflow {
+
+namespace {
+
+/**
+ * Iterative postorder DFS from @p root over @p edges, appended to
+ * @p order; @p seen marks visited nodes.
+ */
+void
+postorder(int root, const std::vector<std::vector<int>> &edges,
+          std::vector<bool> &seen, std::vector<int> &order)
+{
+    if (seen[root])
+        return;
+    // Stack of (node, next-child-index).
+    std::vector<std::pair<int, size_t>> stack;
+    seen[root] = true;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+        auto &[n, ci] = stack.back();
+        if (ci < edges[n].size()) {
+            int child = edges[n][ci++];
+            if (!seen[child]) {
+                seen[child] = true;
+                stack.emplace_back(child, 0);
+            }
+        } else {
+            order.push_back(n);
+            stack.pop_back();
+        }
+    }
+}
+
+} // namespace
+
+CfgView::CfgView(const Function &fn) : _fn(&fn)
+{
+    int nblocks = static_cast<int>(fn.numBlocks());
+    int n = nblocks + 1;  // + virtual exit
+    _succs.resize(n);
+    _preds.resize(n);
+
+    for (int b = 0; b < nblocks; ++b) {
+        const BasicBlock &bb = fn.block(b);
+        std::vector<BlockId> succ = bb.successors();
+        if (bb.hasTerminator() &&
+            (bb.terminator().isReturn() || bb.terminator().isHalt())) {
+            succ.push_back(exitNode());
+        }
+        for (BlockId s : succ) {
+            _succs[b].push_back(s);
+            _preds[s].push_back(b);
+        }
+    }
+    computeOrders();
+}
+
+void
+CfgView::computeOrders()
+{
+    int n = numNodes();
+
+    // Forward reachability + RPO from the entry.
+    std::vector<bool> seen(n, false);
+    std::vector<int> po;
+    postorder(entryNode(), _succs, seen, po);
+    _reachable.assign(n, false);
+    for (int i = 0; i < n; ++i)
+        _reachable[i] = seen[i];
+    _rpo.assign(po.rbegin(), po.rend());
+
+    // Reverse RPO from the exit over reversed edges.
+    std::vector<bool> rseen(n, false);
+    std::vector<int> rpo2;
+    postorder(exitNode(), _preds, rseen, rpo2);
+    _reverseRpo.assign(rpo2.rbegin(), rpo2.rend());
+
+    // Every reachable node must reach the exit for postdominators to
+    // be total on the reachable subgraph.
+    _exitReachesAll = true;
+    for (int i = 0; i < n; ++i) {
+        if (_reachable[i] && !rseen[i])
+            _exitReachesAll = false;
+    }
+}
+
+} // namespace polyflow

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * CfgView: an analysis-friendly view of a function's control flow
+ * graph, with a single virtual exit node collecting RET and HALT
+ * blocks.
+ */
+
+#ifndef POLYFLOW_ANALYSIS_CFG_VIEW_HH
+#define POLYFLOW_ANALYSIS_CFG_VIEW_HH
+
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace polyflow {
+
+/**
+ * Immutable CFG of one function. Nodes 0..numBlocks-1 are the
+ * function's basic blocks (same ids); node numBlocks is the virtual
+ * exit. Entry is node 0.
+ */
+class CfgView
+{
+  public:
+    explicit CfgView(const Function &fn);
+
+    const Function &fn() const { return *_fn; }
+
+    int numNodes() const { return static_cast<int>(_succs.size()); }
+    int entryNode() const { return 0; }
+    int exitNode() const { return numNodes() - 1; }
+    bool isExit(int n) const { return n == exitNode(); }
+
+    const std::vector<int> &succs(int n) const { return _succs[n]; }
+    const std::vector<int> &preds(int n) const { return _preds[n]; }
+
+    /** True if @p n is reachable from the entry. */
+    bool reachable(int n) const { return _reachable[n]; }
+
+    /** True if every reachable node can reach the virtual exit. */
+    bool exitReachesAll() const { return _exitReachesAll; }
+
+    /** Reverse postorder over forward edges from the entry. */
+    const std::vector<int> &rpo() const { return _rpo; }
+    /** Reverse postorder over reversed edges from the exit. */
+    const std::vector<int> &reverseRpo() const { return _reverseRpo; }
+
+  private:
+    void computeOrders();
+
+    const Function *_fn;
+    std::vector<std::vector<int>> _succs;
+    std::vector<std::vector<int>> _preds;
+    std::vector<bool> _reachable;
+    std::vector<int> _rpo;
+    std::vector<int> _reverseRpo;
+    bool _exitReachesAll = true;
+};
+
+} // namespace polyflow
+
+#endif // POLYFLOW_ANALYSIS_CFG_VIEW_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Generic dominator computation (Cooper–Harvey–Kennedy) plus the
+ * DominatorTree / PostDominatorTree wrappers used by the rest of the
+ * system.
+ */
+
+#ifndef POLYFLOW_ANALYSIS_DOMINATORS_HH
+#define POLYFLOW_ANALYSIS_DOMINATORS_HH
+
+#include <vector>
+
+#include "analysis/cfg_view.hh"
+
+namespace polyflow {
+
+/**
+ * Compute immediate dominators with the Cooper–Harvey–Kennedy
+ * "engineered" algorithm.
+ *
+ * @param rpo reverse postorder of nodes reachable from @p root over
+ *            the edge relation implied by @p preds
+ * @param preds predecessor lists (reversed successors when computing
+ *              postdominators)
+ * @param root the start node (entry for dominators, exit for
+ *             postdominators)
+ * @return idom per node; idom[root] == root; -1 for unreachable nodes
+ */
+std::vector<int> computeIdoms(const std::vector<int> &rpo,
+                              const std::vector<std::vector<int>> &preds,
+                              int root, int numNodes);
+
+/**
+ * A dominator (or postdominator) tree over the nodes of a CfgView,
+ * with O(1) dominance queries via DFS intervals.
+ */
+class DomTreeBase
+{
+  public:
+    /** Immediate dominator of @p n (root maps to itself; -1 if the
+     *  node is not covered by the analysis). */
+    int idom(int n) const { return _idom[n]; }
+    int root() const { return _root; }
+    bool covered(int n) const { return _idom[n] >= 0; }
+
+    /** True if @p a dominates @p b (reflexive). */
+    bool dominates(int a, int b) const
+    {
+        if (!covered(a) || !covered(b))
+            return false;
+        return _dfsIn[a] <= _dfsIn[b] && _dfsOut[b] <= _dfsOut[a];
+    }
+
+    bool strictlyDominates(int a, int b) const
+    {
+        return a != b && dominates(a, b);
+    }
+
+    /** Tree depth of @p n (root = 0, -1 if uncovered). */
+    int depth(int n) const { return _depth[n]; }
+
+    const std::vector<int> &children(int n) const
+    {
+        return _children[n];
+    }
+
+  protected:
+    void build(std::vector<int> idoms, int root);
+
+    std::vector<int> _idom;
+    std::vector<std::vector<int>> _children;
+    std::vector<int> _dfsIn, _dfsOut, _depth;
+    int _root = -1;
+};
+
+/** Forward dominator tree of a function's CFG. */
+class DominatorTree : public DomTreeBase
+{
+  public:
+    explicit DominatorTree(const CfgView &cfg);
+};
+
+/**
+ * Postdominator tree. The root is the virtual exit node; the
+ * immediate postdominator of a basic block may be the virtual exit
+ * (ipdomBlock() then reports invalidBlock).
+ */
+class PostDominatorTree : public DomTreeBase
+{
+  public:
+    explicit PostDominatorTree(const CfgView &cfg);
+
+    /**
+     * Immediate postdominator of block @p b as a BlockId;
+     * invalidBlock when it is the virtual exit or uncovered.
+     */
+    BlockId ipdomBlock(BlockId b) const;
+
+    bool postDominates(int a, int b) const { return dominates(a, b); }
+
+  private:
+    const CfgView *_cfg;
+};
+
+} // namespace polyflow
+
+#endif // POLYFLOW_ANALYSIS_DOMINATORS_HH

@@ -1,0 +1,105 @@
+#include "analysis/dot.hh"
+
+#include <sstream>
+
+namespace polyflow {
+
+namespace {
+
+std::string
+nodeName(const Function &fn, int n)
+{
+    if (n == static_cast<int>(fn.numBlocks()))
+        return "EXIT";
+    return fn.block(BlockId(n)).name();
+}
+
+void
+emitNodes(std::ostringstream &os, const Function &fn, int numNodes)
+{
+    for (int n = 0; n < numNodes; ++n) {
+        os << "  n" << n << " [label=\"" << nodeName(fn, n)
+           << "\"";
+        if (n == static_cast<int>(fn.numBlocks()))
+            os << " shape=doublecircle";
+        os << "];\n";
+    }
+}
+
+} // namespace
+
+std::string
+dotCfg(const Function &fn)
+{
+    CfgView cfg(fn);
+    std::ostringstream os;
+    os << "digraph cfg_" << fn.name() << " {\n";
+    emitNodes(os, fn, cfg.numNodes());
+    for (int n = 0; n < cfg.numNodes(); ++n) {
+        for (int s : cfg.succs(n))
+            os << "  n" << n << " -> n" << s << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+namespace {
+
+std::string
+dotTree(const Function &fn, const DomTreeBase &tree,
+        const std::string &kind, int numNodes)
+{
+    std::ostringstream os;
+    os << "digraph " << kind << "_" << fn.name() << " {\n";
+    emitNodes(os, fn, numNodes);
+    for (int n = 0; n < numNodes; ++n) {
+        if (n == tree.root() || tree.idom(n) < 0)
+            continue;
+        os << "  n" << tree.idom(n) << " -> n" << n << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+dotDomTree(const Function &fn)
+{
+    CfgView cfg(fn);
+    DominatorTree dt(cfg);
+    return dotTree(fn, dt, "domtree", cfg.numNodes());
+}
+
+std::string
+dotPostDomTree(const Function &fn)
+{
+    CfgView cfg(fn);
+    PostDominatorTree pdt(cfg);
+    return dotTree(fn, pdt, "postdomtree", cfg.numNodes());
+}
+
+std::string
+dotControlDeps(const Function &fn)
+{
+    CfgView cfg(fn);
+    PostDominatorTree pdt(cfg);
+    ControlDepGraph cdg(cfg, pdt);
+    std::ostringstream os;
+    os << "digraph cdg_" << fn.name() << " {\n";
+    emitNodes(os, fn, cfg.numNodes());
+    for (int n = 0; n < cfg.numNodes(); ++n) {
+        for (int s : cfg.succs(n))
+            os << "  n" << n << " -> n" << s << ";\n";
+    }
+    for (int n = 0; n < cfg.numNodes(); ++n) {
+        for (int d : cdg.dependentsOf(n)) {
+            os << "  n" << n << " -> n" << d
+               << " [style=dashed color=blue];\n";
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace polyflow

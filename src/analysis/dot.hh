@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Graphviz (dot) export of the analysis structures: CFG,
+ * dominator / postdominator trees and the control dependence graph.
+ */
+
+#ifndef POLYFLOW_ANALYSIS_DOT_HH
+#define POLYFLOW_ANALYSIS_DOT_HH
+
+#include <string>
+
+#include "analysis/cfg_view.hh"
+#include "analysis/control_dep.hh"
+#include "analysis/dominators.hh"
+
+namespace polyflow {
+
+/** CFG of @p fn as a dot digraph (virtual exit included). */
+std::string dotCfg(const Function &fn);
+
+/** Dominator tree of @p fn as a dot digraph. */
+std::string dotDomTree(const Function &fn);
+
+/** Postdominator tree of @p fn as a dot digraph. */
+std::string dotPostDomTree(const Function &fn);
+
+/**
+ * Control dependence graph of @p fn: CFG edges solid, control
+ * dependence edges dashed (like the paper's Figure 3).
+ */
+std::string dotControlDeps(const Function &fn);
+
+} // namespace polyflow
+
+#endif // POLYFLOW_ANALYSIS_DOT_HH

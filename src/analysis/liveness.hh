@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Register liveness (backward dataflow) per function, and
+ * interprocedural register-write summaries. The spawn analysis uses
+ * these to compute the per-spawn-point dependence masks that the
+ * paper stores in the hint cache ("an eight byte entry per spawn
+ * point ... register and memory dependence information").
+ */
+
+#ifndef POLYFLOW_ANALYSIS_LIVENESS_HH
+#define POLYFLOW_ANALYSIS_LIVENESS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg_view.hh"
+#include "ir/module.hh"
+
+namespace polyflow {
+
+/** A set of architectural registers as a 32-bit mask. */
+using RegMask = std::uint32_t;
+
+/** Registers read / written by one instruction. */
+RegMask regUses(const Instruction &in);
+RegMask regDefs(const Instruction &in);
+
+/**
+ * Block-level liveness for one function. Calls are treated as
+ * reading the argument registers and clobbering whatever the callee
+ * summary says (pass the module for call resolution; an unresolved
+ * indirect call conservatively clobbers and reads everything).
+ */
+class Liveness
+{
+  public:
+    /**
+     * @param calleeWrites per-function write summaries (from
+     *        moduleWriteSummaries), or empty to treat calls as
+     *        clobbering all registers.
+     */
+    Liveness(const Function &fn,
+             const std::vector<RegMask> &calleeWrites);
+
+    RegMask liveIn(BlockId b) const { return _liveIn[b]; }
+    RegMask liveOut(BlockId b) const { return _liveOut[b]; }
+
+    /** Registers read before written within the block. */
+    RegMask use(BlockId b) const { return _use[b]; }
+    /** Registers written anywhere in the block. */
+    RegMask def(BlockId b) const { return _def[b]; }
+
+  private:
+    std::vector<RegMask> _use, _def, _liveIn, _liveOut;
+};
+
+/**
+ * Transitive register-write summaries per function: the registers a
+ * call to each function may clobber (including through its callees;
+ * recursion converges by fixpoint).
+ */
+std::vector<RegMask> moduleWriteSummaries(const Module &mod);
+
+} // namespace polyflow
+
+#endif // POLYFLOW_ANALYSIS_LIVENESS_HH

@@ -1,0 +1,491 @@
+#include "asm/assembler.hh"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "ir/builder.hh"
+
+namespace polyflow {
+
+namespace {
+
+struct Line
+{
+    int number;
+    std::vector<std::string> tokens;  //!< first token lower-cased
+    std::optional<std::string> label;
+};
+
+/** Split a source line into label / tokens, stripping comments. */
+std::optional<Line>
+lexLine(const std::string &raw, int number)
+{
+    std::string s = raw;
+    for (size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == ';' || s[i] == '#') {
+            s.resize(i);
+            break;
+        }
+    }
+    Line line;
+    line.number = number;
+
+    // Leading "label:".
+    size_t start = s.find_first_not_of(" \t");
+    if (start == std::string::npos)
+        return std::nullopt;
+    size_t colon = s.find(':');
+    if (colon != std::string::npos) {
+        std::string lbl = s.substr(start, colon - start);
+        bool ok = !lbl.empty();
+        for (char c : lbl)
+            ok = ok && (std::isalnum(c) || c == '_' || c == '.');
+        if (ok) {
+            line.label = lbl;
+            s = s.substr(colon + 1);
+        }
+    }
+
+    // Tokenize on spaces, commas and parens; parens are kept as
+    // separate tokens so "imm(rs1)" splits cleanly.
+    std::string tok;
+    auto flush = [&] {
+        if (!tok.empty()) {
+            line.tokens.push_back(tok);
+            tok.clear();
+        }
+    };
+    for (char c : s) {
+        if (c == ' ' || c == '\t' || c == ',') {
+            flush();
+        } else if (c == '(' || c == ')') {
+            flush();
+        } else {
+            tok += c;
+        }
+    }
+    flush();
+    if (!line.tokens.empty()) {
+        for (char &c : line.tokens[0])
+            c = char(std::tolower(c));
+    }
+    if (line.tokens.empty() && !line.label)
+        return std::nullopt;
+    return line;
+}
+
+RegId
+parseReg(const std::string &t, int lineNo)
+{
+    static const std::map<std::string, RegId> named = {
+        {"zero", reg::zero}, {"ra", reg::ra}, {"sp", reg::sp},
+        {"gp", reg::gp},     {"a0", reg::a0}, {"a1", reg::a1},
+        {"a2", reg::a2},     {"a3", reg::a3}, {"t0", reg::t0},
+        {"t1", reg::t1},     {"t2", reg::t2}, {"t3", reg::t3},
+        {"t4", reg::t4},     {"t5", reg::t5}, {"t6", reg::t6},
+        {"t7", reg::t7},     {"t8", reg::t8}, {"t9", reg::t9},
+        {"t10", reg::t10},   {"t11", reg::t11},
+        {"s0", reg::s0},     {"s1", reg::s1}, {"s2", reg::s2},
+        {"s3", reg::s3},     {"s4", reg::s4}, {"s5", reg::s5},
+        {"s6", reg::s6},     {"s7", reg::s7},
+    };
+    auto it = named.find(t);
+    if (it != named.end())
+        return it->second;
+    if (t.size() >= 2 && (t[0] == 'r' || t[0] == 'R')) {
+        int n = 0;
+        for (size_t i = 1; i < t.size(); ++i) {
+            if (!std::isdigit(t[i]))
+                throw AsmError(lineNo, "bad register " + t);
+            n = n * 10 + (t[i] - '0');
+        }
+        if (n < numArchRegs)
+            return RegId(n);
+    }
+    throw AsmError(lineNo, "bad register " + t);
+}
+
+std::int64_t
+parseInt(const std::string &t, int lineNo)
+{
+    size_t pos = 0;
+    try {
+        long long v = std::stoll(t, &pos, 0);
+        if (pos == t.size())
+            return v;
+    } catch (const std::out_of_range &) {
+        // Large unsigned constants (e.g. 64-bit hash multipliers)
+        // wrap into the signed representation.
+        try {
+            unsigned long long v = std::stoull(t, &pos, 0);
+            if (pos == t.size())
+                return std::int64_t(v);
+        } catch (const std::exception &) {
+        }
+    } catch (const std::exception &) {
+    }
+    throw AsmError(lineNo, "bad integer " + t);
+}
+
+struct OpInfo
+{
+    Opcode op;
+    enum Form {
+        RRR,      // add rd, rs1, rs2
+        RRI,      // addi rd, rs1, imm
+        LoadF,    // ld rd, imm(rs1)
+        StoreF,   // sd rval, imm(rs1)
+        Branch2,  // beq rs1, rs2, label
+        Branch1,  // bltz rs1, label
+        JumpF,    // j label
+        CallF,    // call func
+        JrF,      // jr rs1, labels...
+        LiF,      // li rd, imm|symbol
+        Bare,     // ret / halt / nop
+    } form;
+};
+
+const std::map<std::string, OpInfo> &
+opTable()
+{
+    static const std::map<std::string, OpInfo> table = {
+        {"add", {Opcode::ADD, OpInfo::RRR}},
+        {"sub", {Opcode::SUB, OpInfo::RRR}},
+        {"mul", {Opcode::MUL, OpInfo::RRR}},
+        {"divu", {Opcode::DIVU, OpInfo::RRR}},
+        {"remu", {Opcode::REMU, OpInfo::RRR}},
+        {"and", {Opcode::AND, OpInfo::RRR}},
+        {"or", {Opcode::OR, OpInfo::RRR}},
+        {"xor", {Opcode::XOR, OpInfo::RRR}},
+        {"sll", {Opcode::SLL, OpInfo::RRR}},
+        {"srl", {Opcode::SRL, OpInfo::RRR}},
+        {"sra", {Opcode::SRA, OpInfo::RRR}},
+        {"slt", {Opcode::SLT, OpInfo::RRR}},
+        {"sltu", {Opcode::SLTU, OpInfo::RRR}},
+        {"addi", {Opcode::ADDI, OpInfo::RRI}},
+        {"andi", {Opcode::ANDI, OpInfo::RRI}},
+        {"ori", {Opcode::ORI, OpInfo::RRI}},
+        {"xori", {Opcode::XORI, OpInfo::RRI}},
+        {"slli", {Opcode::SLLI, OpInfo::RRI}},
+        {"srli", {Opcode::SRLI, OpInfo::RRI}},
+        {"srai", {Opcode::SRAI, OpInfo::RRI}},
+        {"slti", {Opcode::SLTI, OpInfo::RRI}},
+        {"li", {Opcode::LUI, OpInfo::LiF}},
+        {"lb", {Opcode::LB, OpInfo::LoadF}},
+        {"lbu", {Opcode::LBU, OpInfo::LoadF}},
+        {"lh", {Opcode::LH, OpInfo::LoadF}},
+        {"lhu", {Opcode::LHU, OpInfo::LoadF}},
+        {"lw", {Opcode::LW, OpInfo::LoadF}},
+        {"lwu", {Opcode::LWU, OpInfo::LoadF}},
+        {"ld", {Opcode::LD, OpInfo::LoadF}},
+        {"sb", {Opcode::SB, OpInfo::StoreF}},
+        {"sh", {Opcode::SH, OpInfo::StoreF}},
+        {"sw", {Opcode::SW, OpInfo::StoreF}},
+        {"sd", {Opcode::SD, OpInfo::StoreF}},
+        {"beq", {Opcode::BEQ, OpInfo::Branch2}},
+        {"bne", {Opcode::BNE, OpInfo::Branch2}},
+        {"blt", {Opcode::BLT, OpInfo::Branch2}},
+        {"bge", {Opcode::BGE, OpInfo::Branch2}},
+        {"bltz", {Opcode::BLTZ, OpInfo::Branch1}},
+        {"bgez", {Opcode::BGEZ, OpInfo::Branch1}},
+        {"j", {Opcode::J, OpInfo::JumpF}},
+        {"call", {Opcode::JAL, OpInfo::CallF}},
+        {"jalr", {Opcode::JALR, OpInfo::Branch1}},  // jalr rs1
+        {"jr", {Opcode::JR, OpInfo::JrF}},
+        {"ret", {Opcode::RET, OpInfo::Bare}},
+        {"halt", {Opcode::HALT, OpInfo::Bare}},
+        {"nop", {Opcode::NOP, OpInfo::Bare}},
+    };
+    return table;
+}
+
+} // namespace
+
+std::unique_ptr<Module>
+assemble(const std::string &source, const std::string &name)
+{
+    auto mod = std::make_unique<Module>(name);
+
+    // Lex all lines.
+    std::vector<Line> lines;
+    {
+        std::istringstream in(source);
+        std::string raw;
+        int n = 0;
+        while (std::getline(in, raw)) {
+            ++n;
+            if (auto line = lexLine(raw, n))
+                lines.push_back(std::move(*line));
+        }
+    }
+
+    // Pass 1: declare functions and data so all references resolve.
+    for (const Line &l : lines) {
+        if (l.tokens.empty())
+            continue;
+        const std::string &t0 = l.tokens[0];
+        if (t0 == ".func") {
+            if (l.tokens.size() != 2)
+                throw AsmError(l.number, ".func NAME");
+            if (mod->findFunction(l.tokens[1]) != invalidFunc)
+                throw AsmError(l.number,
+                               "duplicate function " + l.tokens[1]);
+            mod->createFunction(l.tokens[1]);
+        } else if (t0 == ".data") {
+            if (l.tokens.size() != 3)
+                throw AsmError(l.number, ".data NAME SIZE");
+            mod->allocData(l.tokens[1],
+                           size_t(parseInt(l.tokens[2], l.number)));
+        }
+    }
+    for (const Line &l : lines) {
+        if (!l.tokens.empty() && l.tokens[0] == ".word") {
+            if (l.tokens.size() != 4)
+                throw AsmError(l.number, ".word NAME OFF VALUE");
+            Addr base;
+            try {
+                base = mod->dataAddr(l.tokens[1]);
+            } catch (const std::exception &) {
+                throw AsmError(l.number,
+                               "unknown data " + l.tokens[1]);
+            }
+            mod->setData64(base + parseInt(l.tokens[2], l.number),
+                           std::uint64_t(
+                               parseInt(l.tokens[3], l.number)));
+        }
+    }
+
+    // Pass 2: emit function bodies.
+    size_t i = 0;
+    bool sawEntry = false;
+    while (i < lines.size()) {
+        const Line &l = lines[i];
+        if (l.tokens.empty() || l.tokens[0] != ".func") {
+            if (!l.tokens.empty() &&
+                (l.tokens[0] == ".data" || l.tokens[0] == ".word")) {
+                ++i;
+                continue;
+            }
+            throw AsmError(l.number, "statement outside .func");
+        }
+        FuncId fid = mod->findFunction(l.tokens[1]);
+        Function &fn = mod->function(fid);
+        size_t bodyStart = ++i;
+        // Find .endfunc.
+        size_t end = bodyStart;
+        while (end < lines.size() &&
+               (lines[end].tokens.empty() ||
+                lines[end].tokens[0] != ".endfunc")) {
+            if (!lines[end].tokens.empty() &&
+                lines[end].tokens[0] == ".func") {
+                throw AsmError(lines[end].number,
+                               "nested .func (missing .endfunc?)");
+            }
+            ++end;
+        }
+        if (end == lines.size())
+            throw AsmError(l.number, "missing .endfunc");
+
+        // Collect blocks in textual order: labels start blocks, and
+        // an instruction following a terminator without a label
+        // starts an anonymous fall-through block. Ids must be
+        // assigned in this order because block id order is layout
+        // order (fall-through goes to id + 1).
+        FunctionBuilder b(fn);
+        std::map<std::string, BlockId> labels;
+        std::map<size_t, BlockId> anonBlocks;  // line idx -> block
+        {
+            bool emptyEntry = true;
+            bool pendingSplit = false;
+            auto isTerminator = [&](const Line &bl) {
+                if (bl.tokens.empty())
+                    return false;
+                auto it = opTable().find(bl.tokens[0]);
+                if (it == opTable().end())
+                    return false;
+                Instruction probe;
+                probe.op = it->second.op;
+                return probe.isTerminator();
+            };
+            for (size_t j = bodyStart; j < end; ++j) {
+                const Line &bl = lines[j];
+                if (bl.label) {
+                    if (labels.count(*bl.label)) {
+                        throw AsmError(bl.number, "duplicate label " +
+                                                      *bl.label);
+                    }
+                    if (emptyEntry) {
+                        labels[*bl.label] = 0;  // names the entry
+                    } else {
+                        labels[*bl.label] = b.newBlock(*bl.label);
+                    }
+                    pendingSplit = false;
+                }
+                if (bl.tokens.empty() || bl.tokens[0] == ".entry")
+                    continue;
+                if (pendingSplit && !bl.label) {
+                    anonBlocks[j] = b.newBlock();
+                    pendingSplit = false;
+                }
+                emptyEntry = false;
+                pendingSplit = isTerminator(bl);
+            }
+        }
+        auto labelOf = [&](const std::string &s,
+                           int lineNo) -> BlockId {
+            auto it = labels.find(s);
+            if (it == labels.end())
+                throw AsmError(lineNo, "unknown label " + s);
+            return it->second;
+        };
+
+        // Emit.
+        BlockId cur = 0;
+        b.setBlock(cur);
+        for (size_t j = bodyStart; j < end; ++j) {
+            const Line &bl = lines[j];
+            if (bl.label)
+                b.setBlock(labels[*bl.label]);
+            if (auto it = anonBlocks.find(j); it != anonBlocks.end())
+                b.setBlock(it->second);
+            if (bl.tokens.empty())
+                continue;
+            const std::string &mn = bl.tokens[0];
+            if (mn == ".entry") {
+                mod->entryFunction(fid);
+                sawEntry = true;
+                continue;
+            }
+            auto oit = opTable().find(mn);
+            if (oit == opTable().end())
+                throw AsmError(bl.number, "unknown mnemonic " + mn);
+            const OpInfo &info = oit->second;
+            const auto &T = bl.tokens;
+            auto need = [&](size_t n) {
+                if (T.size() != n) {
+                    throw AsmError(bl.number,
+                                   "wrong operand count for " + mn);
+                }
+            };
+            Instruction ins;
+            ins.op = info.op;
+            switch (info.form) {
+              case OpInfo::RRR:
+                need(4);
+                ins.rd = parseReg(T[1], bl.number);
+                ins.rs1 = parseReg(T[2], bl.number);
+                ins.rs2 = parseReg(T[3], bl.number);
+                b.emit(ins);
+                break;
+              case OpInfo::RRI:
+                need(4);
+                ins.rd = parseReg(T[1], bl.number);
+                ins.rs1 = parseReg(T[2], bl.number);
+                ins.imm = parseInt(T[3], bl.number);
+                b.emit(ins);
+                break;
+              case OpInfo::LiF: {
+                need(3);
+                RegId rd = parseReg(T[1], bl.number);
+                std::int64_t imm;
+                try {
+                    imm = parseInt(T[2], bl.number);
+                } catch (const AsmError &) {
+                    try {
+                        imm = std::int64_t(mod->dataAddr(T[2]));
+                    } catch (const std::exception &) {
+                        throw AsmError(bl.number,
+                                       "unknown symbol " + T[2]);
+                    }
+                }
+                b.li(rd, imm);
+                break;
+              }
+              case OpInfo::LoadF:
+                // ld rd, imm ( rs1 )  -> tokens: rd, imm, rs1
+                need(4);
+                ins.rd = parseReg(T[1], bl.number);
+                ins.imm = parseInt(T[2], bl.number);
+                ins.rs1 = parseReg(T[3], bl.number);
+                b.emit(ins);
+                break;
+              case OpInfo::StoreF:
+                need(4);
+                ins.rs2 = parseReg(T[1], bl.number);  // value
+                ins.imm = parseInt(T[2], bl.number);
+                ins.rs1 = parseReg(T[3], bl.number);  // base
+                b.emit(ins);
+                break;
+              case OpInfo::Branch2: {
+                need(4);
+                RegId rs1 = parseReg(T[1], bl.number);
+                RegId rs2 = parseReg(T[2], bl.number);
+                BlockId target = labelOf(T[3], bl.number);
+                ins.rs1 = rs1;
+                ins.rs2 = rs2;
+                ins.targetBlock = target;
+                b.emit(ins);
+                fn.block(b.curBlock()).takenSucc(target);
+                break;
+              }
+              case OpInfo::Branch1: {
+                if (info.op == Opcode::JALR) {
+                    need(2);
+                    b.callIndirect(parseReg(T[1], bl.number));
+                    break;
+                }
+                need(3);
+                ins.rs1 = parseReg(T[1], bl.number);
+                BlockId target = labelOf(T[2], bl.number);
+                ins.targetBlock = target;
+                b.emit(ins);
+                fn.block(b.curBlock()).takenSucc(target);
+                break;
+              }
+              case OpInfo::JumpF:
+                need(2);
+                b.jump(labelOf(T[1], bl.number));
+                break;
+              case OpInfo::CallF: {
+                need(2);
+                FuncId callee = mod->findFunction(T[1]);
+                if (callee == invalidFunc)
+                    throw AsmError(bl.number,
+                                   "unknown function " + T[1]);
+                b.call(callee);
+                break;
+              }
+              case OpInfo::JrF: {
+                if (T.size() < 3) {
+                    throw AsmError(bl.number,
+                                   "jr needs declared targets");
+                }
+                std::vector<BlockId> targets;
+                for (size_t k = 2; k < T.size(); ++k)
+                    targets.push_back(labelOf(T[k], bl.number));
+                b.jr(parseReg(T[1], bl.number), targets);
+                break;
+              }
+              case OpInfo::Bare:
+                need(1);
+                if (info.op == Opcode::RET)
+                    b.ret();
+                else if (info.op == Opcode::HALT)
+                    b.halt();
+                else
+                    b.nop();
+                break;
+            }
+        }
+        i = end + 1;
+    }
+
+    if (!sawEntry && mod->numFunctions() > 0)
+        mod->entryFunction(0);
+    return mod;
+}
+
+} // namespace polyflow

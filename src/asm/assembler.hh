@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A small text assembler for PRISC. Tests and examples use it to
+ * write programs as readable source instead of builder calls.
+ *
+ * Syntax (one statement per line, ';' or '#' start comments):
+ *
+ *   .func NAME          begin a function
+ *   .endfunc            end it
+ *   .entry              mark the enclosing function as the entry
+ *   .data NAME SIZE     reserve SIZE bytes of data
+ *   .word NAME OFF VAL  initialize 8 bytes at NAME+OFF
+ *
+ *   label:              begin a basic block
+ *   add rd, rs1, rs2    (and all other ALU ops)
+ *   addi rd, rs1, imm
+ *   li rd, imm|SYMBOL   64-bit immediate or data-symbol address
+ *   ld rd, imm(rs1)     loads: lb lbu lh lhu lw lwu ld
+ *   sd rval, imm(rs1)   stores: sb sh sw sd
+ *   beq rs1, rs2, label (bne blt bge; bltz/bgez take one register)
+ *   j label
+ *   call FUNC
+ *   jr rs1, lab1, lab2, ...   indirect jump with declared targets
+ *   ret / halt / nop
+ *
+ * Registers: r0..r31 or zero, ra, sp, gp, a0..a3, t0..t11, s0..s7.
+ */
+
+#ifndef POLYFLOW_ASM_ASSEMBLER_HH
+#define POLYFLOW_ASM_ASSEMBLER_HH
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "ir/module.hh"
+
+namespace polyflow {
+
+/** Error with a line number, thrown on any parse problem. */
+class AsmError : public std::runtime_error
+{
+  public:
+    AsmError(int line, const std::string &what)
+        : std::runtime_error("line " + std::to_string(line) + ": " +
+                             what),
+          _line(line)
+    {}
+
+    int line() const { return _line; }
+
+  private:
+    int _line;
+};
+
+/** Assemble @p source into a module named @p name. */
+std::unique_ptr<Module> assemble(const std::string &source,
+                                 const std::string &name = "asm");
+
+} // namespace polyflow
+
+#endif // POLYFLOW_ASM_ASSEMBLER_HH

@@ -1,0 +1,23 @@
+#include "ir/basic_block.hh"
+
+namespace polyflow {
+
+std::vector<BlockId>
+BasicBlock::successors() const
+{
+    std::vector<BlockId> out;
+    if (_takenSucc != invalidBlock)
+        out.push_back(_takenSucc);
+    if (_fallSucc != invalidBlock && _fallSucc != _takenSucc)
+        out.push_back(_fallSucc);
+    for (BlockId b : _indirectSuccs) {
+        bool dup = false;
+        for (BlockId o : out)
+            dup = dup || (o == b);
+        if (!dup)
+            out.push_back(b);
+    }
+    return out;
+}
+
+} // namespace polyflow

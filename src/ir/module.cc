@@ -1,0 +1,191 @@
+#include "ir/module.hh"
+
+#include <stdexcept>
+
+namespace polyflow {
+
+namespace {
+
+std::uint64_t
+blockKey(FuncId f, BlockId b)
+{
+    return (std::uint64_t(std::uint32_t(f)) << 32) | std::uint32_t(b);
+}
+
+} // namespace
+
+ImageIdx
+LinkedProgram::idxOf(Addr addr) const
+{
+    auto it = _addrToIdx.find(addr);
+    if (it == _addrToIdx.end()) {
+        throw std::runtime_error(
+            "no instruction at address " + std::to_string(addr));
+    }
+    return it->second;
+}
+
+Addr
+LinkedProgram::blockAddr(FuncId f, BlockId b) const
+{
+    auto it = _blockAddrs.find(blockKey(f, b));
+    if (it == _blockAddrs.end())
+        throw std::runtime_error("unknown block in blockAddr");
+    return it->second;
+}
+
+Function &
+Module::createFunction(const std::string &name)
+{
+    FuncId id = static_cast<FuncId>(_funcs.size());
+    _funcs.push_back(std::make_unique<Function>(id, name));
+    return *_funcs.back();
+}
+
+FuncId
+Module::findFunction(const std::string &name) const
+{
+    for (const auto &f : _funcs) {
+        if (f->name() == name)
+            return f->id();
+    }
+    return invalidFunc;
+}
+
+Addr
+Module::allocData(const std::string &name, size_t size)
+{
+    Addr addr = (_dataTop + 7) & ~Addr(7);
+    _dataTop = addr + size;
+    if (!name.empty()) {
+        if (_dataNames.count(name))
+            throw std::runtime_error("duplicate data name " + name);
+        _dataNames[name] = addr;
+    }
+    return addr;
+}
+
+Addr
+Module::dataAddr(const std::string &name) const
+{
+    auto it = _dataNames.find(name);
+    if (it == _dataNames.end())
+        throw std::runtime_error("unknown data name " + name);
+    return it->second;
+}
+
+void
+Module::setData(Addr addr, std::vector<std::uint8_t> bytes)
+{
+    _dataInits.push_back({addr, std::move(bytes)});
+}
+
+void
+Module::setData64(Addr addr, std::uint64_t value)
+{
+    std::vector<std::uint8_t> b(8);
+    for (int i = 0; i < 8; ++i)
+        b[i] = (value >> (8 * i)) & 0xff;
+    setData(addr, std::move(b));
+}
+
+Addr
+Module::allocJumpTable(const std::string &name,
+                       std::vector<std::pair<FuncId, BlockId>> entries)
+{
+    Addr addr = allocData(name, entries.size() * 8);
+    _jumpTables.push_back({addr, std::move(entries)});
+    return addr;
+}
+
+std::vector<std::pair<FuncId, BlockId>>
+Module::jumpTableTargets() const
+{
+    std::vector<std::pair<FuncId, BlockId>> out;
+    for (const JumpTable &jt : _jumpTables) {
+        for (auto e : jt.entries)
+            out.push_back(e);
+    }
+    return out;
+}
+
+LinkedProgram
+Module::link()
+{
+    if (_funcs.empty())
+        throw std::runtime_error("module has no functions");
+
+    LinkedProgram prog;
+
+    // Pass 1: assign addresses.
+    Addr pc = _codeBase;
+    for (auto &fp : _funcs) {
+        Function &fn = *fp;
+        fn.resolveFallThroughs();
+        fn.validate();
+        fn.startAddr(pc);
+        for (size_t b = 0; b < fn.numBlocks(); ++b) {
+            BasicBlock &bb = fn.block(static_cast<BlockId>(b));
+            bb.startAddr(pc);
+            prog._blockAddrs[blockKey(fn.id(),
+                                      static_cast<BlockId>(b))] = pc;
+            pc += bb.size() * instrBytes;
+        }
+        pc += fn.padding();
+    }
+    prog._codeBegin = _codeBase;
+    prog._codeEnd = pc;
+
+    // Pass 2: emit linked instructions with resolved targets.
+    for (auto &fp : _funcs) {
+        Function &fn = *fp;
+        for (size_t b = 0; b < fn.numBlocks(); ++b) {
+            BasicBlock &bb = fn.block(static_cast<BlockId>(b));
+            Addr iaddr = bb.startAddr();
+            for (size_t i = 0; i < bb.size(); ++i) {
+                const Instruction &ins = bb.instrs()[i];
+                LinkedInstr li;
+                li.instr = ins;
+                li.addr = iaddr;
+                li.func = fn.id();
+                li.block = bb.id();
+                li.blockStart = (i == 0);
+                if (ins.isCondBranch() || ins.isDirectJump()) {
+                    li.targetAddr =
+                        fn.block(ins.targetBlock).startAddr();
+                } else if (ins.op == Opcode::JAL) {
+                    if (ins.targetFunc == invalidFunc ||
+                        ins.targetFunc >=
+                            static_cast<FuncId>(_funcs.size())) {
+                        throw std::runtime_error(
+                            "bad call target in " + fn.name());
+                    }
+                    li.targetAddr = _funcs[ins.targetFunc]->startAddr();
+                }
+                prog._addrToIdx[iaddr] =
+                    static_cast<ImageIdx>(prog._image.size());
+                prog._image.push_back(li);
+                iaddr += instrBytes;
+            }
+        }
+    }
+
+    // Pass 3: resolve jump tables into the data image.
+    for (const JumpTable &jt : _jumpTables) {
+        std::vector<std::uint8_t> bytes;
+        bytes.reserve(jt.entries.size() * 8);
+        for (auto [f, b] : jt.entries) {
+            Addr a = _funcs.at(f)->block(b).startAddr();
+            for (int i = 0; i < 8; ++i)
+                bytes.push_back((a >> (8 * i)) & 0xff);
+        }
+        prog._dataInits.push_back({jt.addr, std::move(bytes)});
+    }
+    for (const DataInit &di : _dataInits)
+        prog._dataInits.push_back(di);
+
+    prog._entryAddr = _funcs.at(_entryFunc)->startAddr();
+    return prog;
+}
+
+} // namespace polyflow

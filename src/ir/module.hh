@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Modules: whole programs (functions + data segment) and the linker
+ * that produces a flat executable image.
+ */
+
+#ifndef POLYFLOW_IR_MODULE_HH
+#define POLYFLOW_IR_MODULE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.hh"
+#include "ir/types.hh"
+
+namespace polyflow {
+
+/** An instruction in a linked image, with all targets resolved. */
+struct LinkedInstr
+{
+    Instruction instr;
+    Addr addr = invalidAddr;
+    /** Resolved target of a branch / jump / call (invalidAddr if none
+     *  or indirect). */
+    Addr targetAddr = invalidAddr;
+    FuncId func = invalidFunc;
+    BlockId block = invalidBlock;
+    /** True for the first instruction of a basic block. */
+    bool blockStart = false;
+};
+
+/** An initialized byte range in the data segment. */
+struct DataInit
+{
+    Addr addr;
+    std::vector<std::uint8_t> bytes;
+};
+
+/**
+ * A fully linked program: a flat instruction image plus initialized
+ * data. This is what the functional and timing simulators consume.
+ */
+class LinkedProgram
+{
+  public:
+    const std::vector<LinkedInstr> &image() const { return _image; }
+    const LinkedInstr &at(ImageIdx i) const { return _image.at(i); }
+    size_t size() const { return _image.size(); }
+
+    Addr entryAddr() const { return _entryAddr; }
+
+    /** Image index of the instruction at @p addr, or fail. */
+    ImageIdx idxOf(Addr addr) const;
+    bool hasAddr(Addr addr) const
+    {
+        return _addrToIdx.find(addr) != _addrToIdx.end();
+    }
+
+    const std::vector<DataInit> &dataInits() const { return _dataInits; }
+
+    /** Flat address of a block's first instruction. */
+    Addr blockAddr(FuncId f, BlockId b) const;
+
+    /** Lowest / one-past-highest code addresses. */
+    Addr codeBegin() const { return _codeBegin; }
+    Addr codeEnd() const { return _codeEnd; }
+
+    friend class Module;
+
+  private:
+    std::vector<LinkedInstr> _image;
+    std::unordered_map<Addr, ImageIdx> _addrToIdx;
+    std::unordered_map<std::uint64_t, Addr> _blockAddrs;
+    std::vector<DataInit> _dataInits;
+    Addr _entryAddr = invalidAddr;
+    Addr _codeBegin = 0;
+    Addr _codeEnd = 0;
+};
+
+/**
+ * A module is a whole program under construction: functions, a data
+ * segment, and link-time jump tables. Call link() once construction
+ * is complete to obtain the executable image.
+ */
+class Module
+{
+  public:
+    explicit Module(std::string name) : _name(std::move(name)) {}
+
+    const std::string &name() const { return _name; }
+
+    /** @name Code @{ */
+    Function &createFunction(const std::string &name);
+    Function &function(FuncId id) { return *_funcs.at(id); }
+    const Function &function(FuncId id) const { return *_funcs.at(id); }
+    FuncId findFunction(const std::string &name) const;
+    size_t numFunctions() const { return _funcs.size(); }
+    /** Entry function (default: function 0). */
+    void entryFunction(FuncId f) { _entryFunc = f; }
+    FuncId entryFunction() const { return _entryFunc; }
+    /** @} */
+
+    /** @name Data segment @{ */
+    /** Reserve @p size bytes (8-aligned); returns the address. */
+    Addr allocData(const std::string &name, size_t size);
+    /** Address of a named data object. */
+    Addr dataAddr(const std::string &name) const;
+    /** Initialize bytes starting at @p addr. */
+    void setData(Addr addr, std::vector<std::uint8_t> bytes);
+    /** Initialize one 64-bit little-endian word at @p addr. */
+    void setData64(Addr addr, std::uint64_t value);
+    /**
+     * Reserve a jump table of code addresses; each entry is resolved
+     * to the flat address of (func, block) at link time.
+     */
+    Addr allocJumpTable(const std::string &name,
+                        std::vector<std::pair<FuncId, BlockId>> entries);
+    /** All (function, block) pairs referenced by jump tables. */
+    std::vector<std::pair<FuncId, BlockId>> jumpTableTargets() const;
+    /** @} */
+
+    Addr codeBase() const { return _codeBase; }
+    void codeBase(Addr a) { _codeBase = a; }
+    Addr dataBase() const { return _dataBase; }
+
+    /**
+     * Lay out code, resolve symbolic targets and jump tables, and
+     * produce the executable image. Validates every function.
+     */
+    LinkedProgram link();
+
+  private:
+    struct JumpTable
+    {
+        Addr addr;
+        std::vector<std::pair<FuncId, BlockId>> entries;
+    };
+
+    std::string _name;
+    std::vector<std::unique_ptr<Function>> _funcs;
+    FuncId _entryFunc = 0;
+    Addr _codeBase = 0x1000;
+    Addr _dataBase = 0x10000000;
+    Addr _dataTop = 0x10000000;
+    std::unordered_map<std::string, Addr> _dataNames;
+    std::vector<DataInit> _dataInits;
+    std::vector<JumpTable> _jumpTables;
+};
+
+} // namespace polyflow
+
+#endif // POLYFLOW_IR_MODULE_HH

@@ -1,0 +1,72 @@
+#include "ir/printer.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace polyflow {
+
+void
+printFunction(std::ostream &os, const Function &fn)
+{
+    os << ".func " << fn.name() << "  ; fn" << fn.id() << "\n";
+    for (size_t b = 0; b < fn.numBlocks(); ++b) {
+        const BasicBlock &bb = fn.block(BlockId(b));
+        os << bb.name() << ":";
+        if (bb.takenSucc() != invalidBlock ||
+            bb.fallSucc() != invalidBlock) {
+            os << "  ; succs:";
+            if (bb.takenSucc() != invalidBlock)
+                os << " taken=bb" << bb.takenSucc();
+            if (bb.fallSucc() != invalidBlock)
+                os << " fall=bb" << bb.fallSucc();
+        }
+        os << "\n";
+        for (const Instruction &in : bb.instrs())
+            os << "    " << in.toString() << "\n";
+    }
+    os << ".endfunc\n";
+}
+
+void
+printModule(std::ostream &os, const Module &mod)
+{
+    os << "; module " << mod.name() << "\n";
+    for (size_t f = 0; f < mod.numFunctions(); ++f) {
+        printFunction(os, mod.function(FuncId(f)));
+        os << "\n";
+    }
+}
+
+void
+disassemble(std::ostream &os, const LinkedProgram &prog)
+{
+    FuncId lastFunc = invalidFunc;
+    for (const LinkedInstr &li : prog.image()) {
+        if (li.func != lastFunc) {
+            os << "; ---- function fn" << li.func << " ----\n";
+            lastFunc = li.func;
+        }
+        if (li.blockStart)
+            os << "; bb" << li.block << ":\n";
+        os << "  " << std::hex << std::setw(8) << li.addr << std::dec
+           << "  " << li.instr.toString();
+        if (li.targetAddr != invalidAddr) {
+            os << "    ; -> " << std::hex << li.targetAddr
+               << std::dec;
+        }
+        if (li.addr == prog.entryAddr())
+            os << "    ; <entry>";
+        os << "\n";
+    }
+}
+
+std::string
+disassemble(const LinkedProgram &prog)
+{
+    std::ostringstream os;
+    disassemble(os, prog);
+    return os.str();
+}
+
+} // namespace polyflow

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Pretty-printing / disassembly of functions, modules and linked
+ * programs.
+ */
+
+#ifndef POLYFLOW_IR_PRINTER_HH
+#define POLYFLOW_IR_PRINTER_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/module.hh"
+
+namespace polyflow {
+
+/** Print @p fn block by block (symbolic targets). */
+void printFunction(std::ostream &os, const Function &fn);
+
+/** Print every function of @p mod. */
+void printModule(std::ostream &os, const Module &mod);
+
+/**
+ * Disassemble a linked program: address, block markers and resolved
+ * targets, in layout order.
+ */
+void disassemble(std::ostream &os, const LinkedProgram &prog);
+
+/** Convenience: disassembly as a string. */
+std::string disassemble(const LinkedProgram &prog);
+
+} // namespace polyflow
+
+#endif // POLYFLOW_IR_PRINTER_HH

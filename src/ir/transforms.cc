@@ -1,0 +1,213 @@
+#include "ir/transforms.hh"
+
+#include <vector>
+
+namespace polyflow {
+
+namespace {
+
+/** Remap a block id through @p map (-1 entries are dropped ids). */
+BlockId
+remap(const std::vector<BlockId> &map, BlockId b)
+{
+    return b == invalidBlock ? invalidBlock : map.at(b);
+}
+
+/** Rewrite every target in @p bb through @p map. */
+void
+remapBlock(BasicBlock &bb, const std::vector<BlockId> &map)
+{
+    for (Instruction &in : bb.instrs()) {
+        if (in.targetBlock != invalidBlock)
+            in.targetBlock = remap(map, in.targetBlock);
+    }
+    bb.takenSucc(remap(map, bb.takenSucc()));
+    bb.fallSucc(remap(map, bb.fallSucc()));
+    std::vector<BlockId> ind;
+    for (BlockId t : bb.indirectSuccs())
+        ind.push_back(remap(map, t));
+    // Rebuild the indirect list in place.
+    const_cast<std::vector<BlockId> &>(bb.indirectSuccs()) =
+        std::move(ind);
+}
+
+/**
+ * Drop the blocks whose @p keep entry is false, renumbering the
+ * rest and remapping every target. All dropped blocks must be
+ * untargeted by kept blocks.
+ */
+void
+dropBlocks(Function &fn, const std::vector<bool> &keep)
+{
+    int n = static_cast<int>(fn.numBlocks());
+    std::vector<BlockId> map(n, invalidBlock);
+    BlockId next = 0;
+    for (int b = 0; b < n; ++b) {
+        if (keep[b])
+            map[b] = next++;
+    }
+    std::vector<std::unique_ptr<BasicBlock>> blocks;
+    for (int b = 0; b < n; ++b) {
+        if (!keep[b])
+            continue;
+        auto nb = std::make_unique<BasicBlock>(map[b],
+                                               fn.block(b).name());
+        *nb = fn.block(b);  // copies instrs and succs
+        nb->id(map[b]);
+        remapBlock(*nb, map);
+        blocks.push_back(std::move(nb));
+    }
+    fn.replaceBlocks(std::move(blocks));
+}
+
+} // namespace
+
+int
+removeUnreachableBlocks(Function &fn, const std::set<BlockId> &pinned)
+{
+    fn.resolveFallThroughs();
+    // Mark reachable blocks with a simple worklist over successors.
+    int n = static_cast<int>(fn.numBlocks());
+    std::vector<bool> keep(n, false);
+    std::vector<BlockId> work{0};
+    keep[0] = true;
+    while (!work.empty()) {
+        BlockId b = work.back();
+        work.pop_back();
+        for (BlockId s : fn.block(b).successors()) {
+            if (!keep[s]) {
+                keep[s] = true;
+                work.push_back(s);
+            }
+        }
+    }
+    for (BlockId p : pinned) {
+        if (p >= 0 && p < n)
+            keep[p] = true;
+    }
+    int removed = 0;
+    for (int b = 0; b < n; ++b)
+        removed += !keep[b];
+    if (removed == 0)
+        return 0;
+
+    // A kept block may not fall through into a dropped one; it
+    // cannot (a fall-through target is reachable whenever its
+    // predecessor is), so dropping is safe.
+    dropBlocks(fn, keep);
+    return removed;
+}
+
+int
+mergeStraightLineBlocks(Function &fn, const std::set<BlockId> &pinned)
+{
+    int merges = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        fn.resolveFallThroughs();
+        int n = static_cast<int>(fn.numBlocks());
+
+        // Predecessor counts.
+        std::vector<int> preds(n, 0);
+        for (int b = 0; b < n; ++b) {
+            for (BlockId s : fn.block(b).successors())
+                ++preds[s];
+        }
+
+        for (int b = 0; b < n && !changed; ++b) {
+            BasicBlock &bb = fn.block(b);
+            // Candidate: ends with an unconditional jump (or a bare
+            // fall-through into b+1 before resolution, which
+            // resolveFallThroughs leaves as fallSucc with no
+            // terminator).
+            BlockId t = invalidBlock;
+            bool viaJump = false;
+            if (bb.hasTerminator() &&
+                bb.terminator().isDirectJump()) {
+                t = bb.terminator().targetBlock;
+                viaJump = true;
+            } else if (!bb.hasTerminator() &&
+                       bb.fallSucc() != invalidBlock) {
+                t = bb.fallSucc();
+            }
+            if (t == invalidBlock || t == 0 || t == b ||
+                preds[t] != 1 || pinned.count(t)) {
+                continue;
+            }
+            const BasicBlock &tb = fn.block(t);
+            // If the target ends in a conditional branch it falls
+            // through to t+1; merging away from position t would
+            // break that adjacency unless t == b + 1.
+            bool tFallsThrough = !tb.hasTerminator() ||
+                tb.terminator().isCondBranch();
+            if (tFallsThrough && t != b + 1)
+                continue;
+
+            // Merge t into b.
+            if (viaJump)
+                bb.instrs().pop_back();
+            for (const Instruction &in : tb.instrs())
+                bb.append(in);
+            bb.takenSucc(tb.takenSucc());
+            bb.fallSucc(tb.fallSucc());
+            const_cast<std::vector<BlockId> &>(bb.indirectSuccs()) =
+                tb.indirectSuccs();
+
+            std::vector<bool> keep(n, true);
+            keep[t] = false;
+            dropBlocks(fn, keep);
+            ++merges;
+            changed = true;
+        }
+    }
+    return merges;
+}
+
+int
+removeNops(Function &fn)
+{
+    int removed = 0;
+    for (size_t b = 0; b < fn.numBlocks(); ++b) {
+        auto &instrs = fn.block(BlockId(b)).instrs();
+        size_t before = instrs.size();
+        size_t nonNops = 0;
+        for (const Instruction &in : instrs)
+            nonNops += in.op != Opcode::NOP;
+        if (nonNops == 0) {
+            instrs.resize(1);  // keep one NOP: blocks stay non-empty
+        } else if (nonNops < before) {
+            std::erase_if(instrs, [](const Instruction &in) {
+                return in.op == Opcode::NOP;
+            });
+        }
+        removed += int(before - instrs.size());
+    }
+    return removed;
+}
+
+int
+cleanupModule(Module &mod)
+{
+    // Jump tables store (function, block) pairs that link() resolves
+    // later; renumbering a function's blocks would invalidate them,
+    // so functions with jump-table targets only get NOP removal.
+    std::vector<bool> hasTable(mod.numFunctions(), false);
+    for (auto [f, b] : mod.jumpTableTargets()) {
+        (void)b;
+        hasTable[f] = true;
+    }
+
+    int changes = 0;
+    for (size_t f = 0; f < mod.numFunctions(); ++f) {
+        Function &fn = mod.function(FuncId(f));
+        changes += removeNops(fn);
+        if (hasTable[f])
+            continue;
+        changes += removeUnreachableBlocks(fn);
+        changes += mergeStraightLineBlocks(fn);
+    }
+    return changes;
+}
+
+} // namespace polyflow

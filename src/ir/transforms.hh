@@ -1,0 +1,54 @@
+/**
+ * @file
+ * CFG cleanup transforms: unreachable-block elimination,
+ * straight-line block merging and NOP removal. Behaviour-preserving
+ * (verified by fuzzing in the test suite); useful for normalizing
+ * builder- or assembler-produced functions before analysis.
+ *
+ * All transforms must run before Module::link() (they renumber
+ * blocks).
+ */
+
+#ifndef POLYFLOW_IR_TRANSFORMS_HH
+#define POLYFLOW_IR_TRANSFORMS_HH
+
+#include <set>
+
+#include "ir/module.hh"
+
+namespace polyflow {
+
+/**
+ * Remove blocks unreachable from the entry.
+ * @param pinned block ids that must survive (e.g. jump-table
+ *        targets)
+ * @return number of blocks removed
+ */
+int removeUnreachableBlocks(Function &fn,
+                            const std::set<BlockId> &pinned = {});
+
+/**
+ * Merge each block ending in an unconditional jump (or plain
+ * fall-through) into its unique successor when that successor has
+ * no other predecessors and is not @p pinned. Runs to a fixpoint.
+ * @return number of merges performed
+ */
+int mergeStraightLineBlocks(Function &fn,
+                            const std::set<BlockId> &pinned = {});
+
+/**
+ * Delete NOP instructions (a block consisting solely of NOPs keeps
+ * one so it stays non-empty).
+ * @return number of NOPs removed
+ */
+int removeNops(Function &fn);
+
+/**
+ * Run all cleanups on every function of @p mod, protecting
+ * jump-table targets. @return total number of changes.
+ */
+int cleanupModule(Module &mod);
+
+} // namespace polyflow
+
+#endif // POLYFLOW_IR_TRANSFORMS_HH

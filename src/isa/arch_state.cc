@@ -1,0 +1,78 @@
+#include "isa/arch_state.hh"
+
+#include <cstring>
+
+namespace polyflow {
+
+ArchState::ArchState()
+{
+    _regs.fill(0);
+}
+
+ArchState::Page &
+ArchState::pageFor(Addr addr)
+{
+    Addr pn = addr / pageBytes;
+    auto it = _pages.find(pn);
+    if (it == _pages.end()) {
+        auto page = std::make_unique<Page>();
+        page->fill(0);
+        it = _pages.emplace(pn, std::move(page)).first;
+    }
+    return *it->second;
+}
+
+const ArchState::Page *
+ArchState::pageForConst(Addr addr) const
+{
+    auto it = _pages.find(addr / pageBytes);
+    return it == _pages.end() ? nullptr : it->second.get();
+}
+
+std::uint8_t
+ArchState::readByte(Addr addr) const
+{
+    const Page *p = pageForConst(addr);
+    return p ? (*p)[addr % pageBytes] : 0;
+}
+
+void
+ArchState::writeByte(Addr addr, std::uint8_t value)
+{
+    pageFor(addr)[addr % pageBytes] = value;
+}
+
+std::uint64_t
+ArchState::readMem(Addr addr, int bytes) const
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i)
+        v |= std::uint64_t(readByte(addr + i)) << (8 * i);
+    return v;
+}
+
+void
+ArchState::writeMem(Addr addr, std::uint64_t value, int bytes)
+{
+    for (int i = 0; i < bytes; ++i)
+        writeByte(addr + i, (value >> (8 * i)) & 0xff);
+}
+
+std::uint64_t
+ArchState::memChecksum() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &[pn, page] : _pages) {
+        std::uint64_t psum = pn * 0x9e3779b97f4a7c15ull;
+        for (size_t i = 0; i < pageBytes; i += 8) {
+            std::uint64_t w;
+            std::memcpy(&w, page->data() + i, 8);
+            psum ^= w + 0x9e3779b97f4a7c15ull + (psum << 6) +
+                (psum >> 2);
+        }
+        sum ^= psum;
+    }
+    return sum;
+}
+
+} // namespace polyflow

@@ -1,0 +1,125 @@
+#include "isa/exec.hh"
+
+#include <stdexcept>
+
+namespace polyflow {
+
+ExecOut
+step(const LinkedInstr &li, ArchState &st)
+{
+    const Instruction &in = li.instr;
+    ExecOut out;
+    out.nextPc = li.addr + instrBytes;
+
+    auto rs1 = [&] { return st.readReg(in.rs1); };
+    auto rs2 = [&] { return st.readReg(in.rs2); };
+    auto u1 = [&] { return std::uint64_t(st.readReg(in.rs1)); };
+    auto u2 = [&] { return std::uint64_t(st.readReg(in.rs2)); };
+    auto wr = [&](std::int64_t v) { st.writeReg(in.rd, v); };
+    auto branch = [&](bool cond) {
+        if (cond) {
+            out.nextPc = li.targetAddr;
+            out.taken = true;
+        }
+    };
+    auto signExtend = [](std::uint64_t v, int bytes) -> std::int64_t {
+        int shift = 64 - 8 * bytes;
+        return std::int64_t(v << shift) >> shift;
+    };
+
+    switch (in.op) {
+      case Opcode::ADD: wr(rs1() + rs2()); break;
+      case Opcode::SUB: wr(rs1() - rs2()); break;
+      case Opcode::MUL: wr(rs1() * rs2()); break;
+      case Opcode::DIVU:
+        wr(u2() == 0 ? -1 : std::int64_t(u1() / u2()));
+        break;
+      case Opcode::REMU:
+        wr(u2() == 0 ? rs1() : std::int64_t(u1() % u2()));
+        break;
+      case Opcode::AND: wr(rs1() & rs2()); break;
+      case Opcode::OR: wr(rs1() | rs2()); break;
+      case Opcode::XOR: wr(rs1() ^ rs2()); break;
+      case Opcode::SLL: wr(std::int64_t(u1() << (u2() & 63))); break;
+      case Opcode::SRL: wr(std::int64_t(u1() >> (u2() & 63))); break;
+      case Opcode::SRA: wr(rs1() >> (u2() & 63)); break;
+      case Opcode::SLT: wr(rs1() < rs2() ? 1 : 0); break;
+      case Opcode::SLTU: wr(u1() < u2() ? 1 : 0); break;
+
+      case Opcode::ADDI: wr(rs1() + in.imm); break;
+      case Opcode::ANDI: wr(rs1() & in.imm); break;
+      case Opcode::ORI: wr(rs1() | in.imm); break;
+      case Opcode::XORI: wr(rs1() ^ in.imm); break;
+      case Opcode::SLLI: wr(std::int64_t(u1() << (in.imm & 63))); break;
+      case Opcode::SRLI: wr(std::int64_t(u1() >> (in.imm & 63))); break;
+      case Opcode::SRAI: wr(rs1() >> (in.imm & 63)); break;
+      case Opcode::SLTI: wr(rs1() < in.imm ? 1 : 0); break;
+      case Opcode::LUI: wr(in.imm); break;
+
+      case Opcode::LB: case Opcode::LBU: case Opcode::LH:
+      case Opcode::LHU: case Opcode::LW: case Opcode::LWU:
+      case Opcode::LD: {
+        Addr a = Addr(rs1() + in.imm);
+        out.effAddr = a;
+        std::uint64_t v = st.readMem(a, in.memBytes());
+        wr(in.loadSigned() ? signExtend(v, in.memBytes())
+                           : std::int64_t(v));
+        break;
+      }
+
+      case Opcode::SB: case Opcode::SH: case Opcode::SW:
+      case Opcode::SD: {
+        Addr a = Addr(rs1() + in.imm);
+        out.effAddr = a;
+        st.writeMem(a, std::uint64_t(rs2()), in.memBytes());
+        break;
+      }
+
+      case Opcode::BEQ: branch(rs1() == rs2()); break;
+      case Opcode::BNE: branch(rs1() != rs2()); break;
+      case Opcode::BLT: branch(rs1() < rs2()); break;
+      case Opcode::BGE: branch(rs1() >= rs2()); break;
+      case Opcode::BLTZ: branch(rs1() < 0); break;
+      case Opcode::BGEZ: branch(rs1() >= 0); break;
+
+      case Opcode::J:
+        out.nextPc = li.targetAddr;
+        out.taken = true;
+        break;
+      case Opcode::JAL:
+        st.writeReg(reg::ra, std::int64_t(li.addr + instrBytes));
+        out.nextPc = li.targetAddr;
+        out.taken = true;
+        break;
+      case Opcode::JR:
+        out.nextPc = Addr(rs1());
+        out.indirectTarget = out.nextPc;
+        out.taken = true;
+        break;
+      case Opcode::JALR: {
+        Addr target = Addr(rs1());
+        st.writeReg(reg::ra, std::int64_t(li.addr + instrBytes));
+        out.nextPc = target;
+        out.indirectTarget = target;
+        out.taken = true;
+        break;
+      }
+      case Opcode::RET:
+        out.nextPc = Addr(st.readReg(reg::ra));
+        out.indirectTarget = out.nextPc;
+        out.taken = true;
+        break;
+
+      case Opcode::NOP:
+        break;
+      case Opcode::HALT:
+        out.halted = true;
+        break;
+
+      default:
+        throw std::runtime_error("unimplemented opcode");
+    }
+    return out;
+}
+
+} // namespace polyflow

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Single-instruction execution semantics for PRISC.
+ */
+
+#ifndef POLYFLOW_ISA_EXEC_HH
+#define POLYFLOW_ISA_EXEC_HH
+
+#include "ir/module.hh"
+#include "isa/arch_state.hh"
+
+namespace polyflow {
+
+/** Outcome of executing one instruction. */
+struct ExecOut
+{
+    Addr nextPc = invalidAddr;
+    bool taken = false;       //!< control transfer redirected fetch
+    bool halted = false;
+    Addr effAddr = invalidAddr;  //!< memory effective address
+    /** Resolved target of an indirect transfer (JR/JALR/RET). */
+    Addr indirectTarget = invalidAddr;
+};
+
+/**
+ * Execute @p li against @p state, updating registers and memory.
+ * @return where fetch goes next and what the instruction did.
+ */
+ExecOut step(const LinkedInstr &li, ArchState &state);
+
+} // namespace polyflow
+
+#endif // POLYFLOW_ISA_EXEC_HH

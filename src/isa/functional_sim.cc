@@ -1,0 +1,97 @@
+#include "isa/functional_sim.hh"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "isa/exec.hh"
+
+namespace polyflow {
+
+FuncSimResult
+runFunctional(const LinkedProgram &prog, const FuncSimOptions &options)
+{
+    FuncSimResult res;
+    res.finalState = std::make_unique<ArchState>();
+    ArchState &st = *res.finalState;
+
+    for (const DataInit &di : prog.dataInits()) {
+        for (size_t i = 0; i < di.bytes.size(); ++i)
+            st.writeByte(di.addr + i, di.bytes[i]);
+    }
+    st.writeReg(reg::sp, std::int64_t(options.stackTop));
+    if (!prog.dataInits().empty())
+        st.writeReg(reg::gp, std::int64_t(prog.dataInits()[0].addr));
+
+    // Last dynamic writer of each architectural register.
+    TraceIdx lastWriter[numArchRegs];
+    for (auto &w : lastWriter)
+        w = invalidTrace;
+    // Last dynamic store touching each aligned 8-byte chunk.
+    std::unordered_map<Addr, TraceIdx> lastStore;
+
+    if (options.recordTrace) {
+        res.trace.prog = &prog;
+        res.trace.instrs.reserve(
+            std::min<std::uint64_t>(options.maxInstrs, 1u << 22));
+    }
+
+    Addr pc = prog.entryAddr();
+    while (res.instrCount < options.maxInstrs) {
+        const LinkedInstr &li = prog.at(prog.idxOf(pc));
+        const Instruction &in = li.instr;
+
+        ExecOut out = step(li, st);
+        ++res.instrCount;
+
+        if (options.recordTrace) {
+            DynInstr d;
+            d.img = prog.idxOf(pc);
+            d.taken = out.taken;
+            d.effAddr = in.isMem() ? out.effAddr : out.indirectTarget;
+
+            RegId srcs[2];
+            int nsrc = in.srcRegs(srcs);
+            for (int s = 0; s < nsrc; ++s)
+                d.prod[s] = lastWriter[srcs[s]];
+
+            TraceIdx self =
+                static_cast<TraceIdx>(res.trace.instrs.size());
+            if (in.isMem()) {
+                Addr lo = out.effAddr & ~Addr(7);
+                Addr hi = (out.effAddr + in.memBytes() - 1) & ~Addr(7);
+                if (in.isLoad()) {
+                    for (Addr c = lo; c <= hi; c += 8) {
+                        auto it = lastStore.find(c);
+                        if (it != lastStore.end() &&
+                            (d.memProd == invalidTrace ||
+                             it->second > d.memProd)) {
+                            d.memProd = it->second;
+                        }
+                    }
+                } else {
+                    for (Addr c = lo; c <= hi; c += 8)
+                        lastStore[c] = self;
+                }
+            }
+            int dst = in.destReg();
+            if (dst >= 0)
+                lastWriter[dst] = self;
+
+            res.trace.instrs.push_back(d);
+        }
+
+        if (out.halted) {
+            res.halted = true;
+            break;
+        }
+        pc = out.nextPc;
+        if (!prog.hasAddr(pc)) {
+            throw std::runtime_error(
+                "functional sim: fetch from non-code address " +
+                std::to_string(pc));
+        }
+    }
+    return res;
+}
+
+} // namespace polyflow

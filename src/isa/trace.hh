@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The committed dynamic instruction trace. The functional simulator
+ * produces it; the timing simulator and the reconvergence predictor
+ * consume it.
+ */
+
+#ifndef POLYFLOW_ISA_TRACE_HH
+#define POLYFLOW_ISA_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/module.hh"
+#include "ir/types.hh"
+
+namespace polyflow {
+
+/**
+ * One committed dynamic instruction. Static properties (opcode,
+ * registers, classification) live in the LinkedProgram image; the
+ * record stores only dynamic facts plus precomputed dependence links
+ * that let the timing model run without re-executing.
+ */
+struct DynInstr
+{
+    /** Index of the static instruction in the program image. */
+    ImageIdx img = 0;
+    /** Control transfer redirected fetch (branch taken / jump). */
+    bool taken = false;
+    /** Memory effective address, or resolved indirect-jump target. */
+    Addr effAddr = invalidAddr;
+    /**
+     * Trace indices of the dynamic producers of the two source
+     * registers (invalidTrace when the value predates the trace or
+     * the operand is r0 / absent).
+     */
+    TraceIdx prod[2] = {invalidTrace, invalidTrace};
+    /**
+     * For loads: trace index of the most recent older store whose
+     * accessed chunk overlaps this load (invalidTrace if none).
+     * Chunk granularity is 8 aligned bytes.
+     */
+    TraceIdx memProd = invalidTrace;
+};
+
+/** A full committed trace plus its program. */
+struct Trace
+{
+    const LinkedProgram *prog = nullptr;
+    std::vector<DynInstr> instrs;
+
+    const LinkedInstr &staticOf(TraceIdx i) const
+    {
+        return prog->at(instrs[i].img);
+    }
+    size_t size() const { return instrs.size(); }
+};
+
+} // namespace polyflow
+
+#endif // POLYFLOW_ISA_TRACE_HH

@@ -1,0 +1,31 @@
+#include "sim/addr_index.hh"
+
+#include <algorithm>
+
+namespace polyflow {
+
+AddrIndex::AddrIndex(const Trace &trace)
+{
+    for (TraceIdx i = 0; i < trace.size(); ++i)
+        _occ[trace.staticOf(i).addr].push_back(i);
+}
+
+TraceIdx
+AddrIndex::nextOccurrence(Addr pc, TraceIdx after) const
+{
+    auto it = _occ.find(pc);
+    if (it == _occ.end())
+        return invalidTrace;
+    const auto &v = it->second;
+    auto pos = std::upper_bound(v.begin(), v.end(), after);
+    return pos == v.end() ? invalidTrace : *pos;
+}
+
+size_t
+AddrIndex::count(Addr pc) const
+{
+    auto it = _occ.find(pc);
+    return it == _occ.end() ? 0 : it->second.size();
+}
+
+} // namespace polyflow

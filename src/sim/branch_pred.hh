@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Front-end predictors: the gshare direction predictor, a last-target
+ * indirect-jump predictor, and a per-task return address stack.
+ */
+
+#ifndef POLYFLOW_SIM_BRANCH_PRED_HH
+#define POLYFLOW_SIM_BRANCH_PRED_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/types.hh"
+#include "sim/config.hh"
+
+namespace polyflow {
+
+/**
+ * Gshare direction predictor: 2-bit saturating counters indexed by
+ * PC xor global history. History is kept per task (tasks are
+ * independent fetch streams); the counter table is shared.
+ */
+class GsharePredictor
+{
+  public:
+    explicit GsharePredictor(const MachineConfig &config);
+
+    bool predict(Addr pc, std::uint32_t history) const;
+    void update(Addr pc, std::uint32_t history, bool taken);
+
+    /** Fold @p taken into a task's history register. */
+    std::uint32_t
+    shiftHistory(std::uint32_t history, bool taken) const
+    {
+        return ((history << 1) | (taken ? 1 : 0)) & _historyMask;
+    }
+
+    std::uint64_t lookups() const { return _lookups; }
+    std::uint64_t mispredicts() const { return _mispredicts; }
+
+  private:
+    std::uint32_t index(Addr pc, std::uint32_t history) const;
+
+    std::vector<std::uint8_t> _counters;
+    std::uint32_t _indexMask;
+    std::uint32_t _historyMask;
+    mutable std::uint64_t _lookups = 0;
+    std::uint64_t _mispredicts = 0;
+};
+
+/** Last-target predictor for indirect jumps and indirect calls. */
+class IndirectPredictor
+{
+  public:
+    /** Predicted target for the jump at @p pc (invalidAddr if cold). */
+    Addr predict(Addr pc) const;
+    void update(Addr pc, Addr target);
+
+  private:
+    std::unordered_map<Addr, Addr> _lastTarget;
+};
+
+/** A bounded return-address stack; copied into newly spawned tasks. */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(int capacity = 16)
+        : _capacity(capacity)
+    {}
+
+    void push(Addr returnAddr);
+    /** Pop the predicted return target (invalidAddr when empty). */
+    Addr pop();
+    void clear() { _stack.clear(); }
+    size_t depth() const { return _stack.size(); }
+
+  private:
+    int _capacity;
+    std::vector<Addr> _stack;
+};
+
+} // namespace polyflow
+
+#endif // POLYFLOW_SIM_BRANCH_PRED_HH

@@ -1,0 +1,108 @@
+#include "sim/cache.hh"
+
+#include <stdexcept>
+
+namespace polyflow {
+
+Cache::Cache(const CacheConfig &config) : _cfg(config)
+{
+    if (_cfg.lineBytes <= 0 || _cfg.assoc <= 0 || _cfg.sizeBytes <= 0)
+        throw std::runtime_error("bad cache config");
+    _numSets = _cfg.sizeBytes / (_cfg.lineBytes * _cfg.assoc);
+    if (_numSets <= 0 ||
+        (_numSets & (_numSets - 1)) != 0) {
+        throw std::runtime_error("cache sets must be a power of two");
+    }
+    _ways.resize(size_t(_numSets) * _cfg.assoc);
+}
+
+bool
+Cache::access(Addr addr)
+{
+    ++_clock;
+    Addr line = addr / _cfg.lineBytes;
+    int set = int(line & Addr(_numSets - 1));
+    Way *base = &_ways[size_t(set) * _cfg.assoc];
+
+    for (int w = 0; w < _cfg.assoc; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == line) {
+            way.lastUse = _clock;
+            ++_hits;
+            return true;
+        }
+    }
+    // Miss: fill an invalid way if any, else the true-LRU way.
+    Way *lru = base;
+    for (int w = 0; w < _cfg.assoc; ++w) {
+        Way &way = base[w];
+        if (!way.valid) {
+            lru = &way;
+            break;
+        }
+        if (way.lastUse < lru->lastUse)
+            lru = &way;
+    }
+    lru->valid = true;
+    lru->tag = line;
+    lru->lastUse = _clock;
+    ++_misses;
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    Addr line = addr / _cfg.lineBytes;
+    int set = int(line & Addr(_numSets - 1));
+    const Way *base = &_ways[size_t(set) * _cfg.assoc];
+    for (int w = 0; w < _cfg.assoc; ++w) {
+        if (base[w].valid && base[w].tag == line)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (Way &w : _ways)
+        w = Way{};
+    _clock = _hits = _misses = 0;
+}
+
+MemHierarchy::MemHierarchy(const MachineConfig &config)
+    : _l1i(config.l1i), _l1d(config.l1d), _l2(config.l2)
+{}
+
+int
+MemHierarchy::accessInstr(Addr addr)
+{
+    if (_l1i.access(addr))
+        return 1;
+    int lat = 1 + _l1i.config().missLatency;
+    if (!_l2.access(addr))
+        lat += _l2.config().missLatency;
+    return lat;
+}
+
+int
+MemHierarchy::accessData(Addr addr)
+{
+    if (_l1d.access(addr))
+        return 1;
+    int lat = 1 + _l1d.config().missLatency;
+    if (!_l2.access(addr))
+        lat += _l2.config().missLatency;
+    return lat;
+}
+
+void
+MemHierarchy::reset()
+{
+    _l1i.reset();
+    _l1d.reset();
+    _l2.reset();
+}
+
+} // namespace polyflow

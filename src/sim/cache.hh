@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Set-associative LRU cache model and the two-level hierarchy used
+ * for instruction and data accesses.
+ */
+
+#ifndef POLYFLOW_SIM_CACHE_HH
+#define POLYFLOW_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/types.hh"
+#include "sim/config.hh"
+
+namespace polyflow {
+
+/** One set-associative cache level with true-LRU replacement. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Access the line containing @p addr, filling on miss.
+     * @return true on hit.
+     */
+    bool access(Addr addr);
+
+    /** Non-allocating lookup (for tests). */
+    bool probe(Addr addr) const;
+
+    void reset();
+
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+    int numSets() const { return _numSets; }
+    const CacheConfig &config() const { return _cfg; }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    CacheConfig _cfg;
+    int _numSets;
+    std::vector<Way> _ways;  // numSets * assoc
+    std::uint64_t _clock = 0;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+};
+
+/**
+ * The L1I / L1D / shared-L2 hierarchy. Access methods return the
+ * total latency in cycles: 1 for an L1 hit, plus the configured miss
+ * latencies on the way down. No MSHR or bandwidth modelling (the
+ * paper's hint cache is similarly idealized).
+ */
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const MachineConfig &config);
+
+    int accessInstr(Addr addr);
+    int accessData(Addr addr);
+
+    void reset();
+
+    const Cache &l1i() const { return _l1i; }
+    const Cache &l1d() const { return _l1d; }
+    const Cache &l2() const { return _l2; }
+
+  private:
+    Cache _l1i, _l1d, _l2;
+};
+
+} // namespace polyflow
+
+#endif // POLYFLOW_SIM_CACHE_HH

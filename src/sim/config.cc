@@ -1,0 +1,25 @@
+#include "sim/config.hh"
+
+#include <sstream>
+
+namespace polyflow {
+
+std::string
+MachineConfig::describe() const
+{
+    std::ostringstream os;
+    os << "pipeline width " << pipelineWidth << ", tasks " << numTasks
+       << ", ROB " << robEntries << ", scheduler " << schedEntries
+       << ", divert queue " << divertEntries << ", FUs " << numFUs
+       << ", gshare " << (gshareCounters * 2 / 1024) << "Kbit/"
+       << historyBits << "b hist"
+       << ", L1I " << l1i.sizeBytes / 1024 << "KB/" << l1i.assoc
+       << "way/" << l1i.lineBytes << "B"
+       << ", L1D " << l1d.sizeBytes / 1024 << "KB/" << l1d.assoc
+       << "way/" << l1d.lineBytes << "B"
+       << ", L2 " << l2.sizeBytes / 1024 << "KB/" << l2.assoc
+       << "way/" << l2.lineBytes << "B";
+    return os.str();
+}
+
+} // namespace polyflow

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Machine configuration (Figure 8 of the paper, plus the model knobs
+ * this reproduction exposes for ablation).
+ */
+
+#ifndef POLYFLOW_SIM_CONFIG_HH
+#define POLYFLOW_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace polyflow {
+
+/** Geometry and miss latency of one cache level. */
+struct CacheConfig
+{
+    int sizeBytes;
+    int assoc;
+    int lineBytes;
+    /** Extra cycles paid when this level misses. */
+    int missLatency;
+};
+
+/** The PolyFlow machine configuration (defaults = Figure 8). */
+struct MachineConfig
+{
+    /** @name Figure 8 parameters @{ */
+    int pipelineWidth = 8;       //!< instrs/cycle, every stage
+    int numTasks = 8;            //!< task contexts
+    int robEntries = 512;        //!< dynamically shared
+    int schedEntries = 64;       //!< dynamically shared
+    int divertEntries = 128;     //!< dynamically shared
+    int numFUs = 8;              //!< identical general-purpose units
+    int minMispredictPenalty = 8;
+    int gshareCounters = 8192;   //!< 16 Kbit = 8192 2-bit counters
+    int historyBits = 8;
+    CacheConfig l1i{8 * 1024, 2, 128, 10};
+    CacheConfig l1d{16 * 1024, 4, 64, 10};
+    CacheConfig l2{512 * 1024, 8, 128, 100};
+    /** @} */
+
+    /** @name SMT fetch @{ */
+    int fetchTasksPerCycle = 2;  //!< superscalar baseline uses 1
+    int maxTakenPerTaskCycle = 1;
+    int fetchQueueEntries = 32;  //!< per task, fetched-not-renamed
+    /** Biased-ICount: tie-bias toward older tasks. Kept small so
+     *  the tail task still fetches often enough to keep spawning. */
+    int icountAgeBias = 1;
+    /** @} */
+
+    /** @name Backend latencies @{ */
+    int frontendDepth = 3;       //!< fetch -> earliest rename, cycles
+    int intLatency = 1;
+    int mulLatency = 3;
+    int divLatency = 12;
+    int loadLatency = 2;         //!< L1-hit load-to-use latency
+    int branchLatency = 1;
+    /** @} */
+
+    /** @name Task spawn unit @{ */
+    /**
+     * Max dynamic distance (in committed instructions) between the
+     * trigger and the spawned task's start. Because only the tail
+     * task may spawn, an accepted far spawn kills every nearer
+     * opportunity inside its range; the paper's spawn unit uses its
+     * trace to keep tasks from being "spawned too far into the
+     * future" for the same reason.
+     */
+    std::uint32_t maxSpawnDistance = 512;
+    /** Hammock joins can be just a couple of instructions past the
+     *  branch (the paper's twolf example); keep the floor low. */
+    std::uint32_t minSpawnDistance = 2;
+    bool spawnFeedback = true;   //!< disable repeatedly-squashing PCs
+    /** Feedback disables a trigger only after this many squashes
+     *  with a sustained squash/spawn ratio; one-time dependence
+     *  violations are handled by the predictors instead. */
+    int feedbackMinSquashes = 16;
+    /** A retired task counts as unprofitable when at least this
+     *  fraction (in percent) of its instructions had to be
+     *  synchronized through the divert queue. */
+    int feedbackDivertPercent = 60;
+    /** Triggers are disabled once unprofitable retirements both
+     *  reach this count and outnumber profitable ones 2:1. */
+    int feedbackMinUnprofitable = 12;
+    int squashRestartPenalty = 8;
+    /** Cycles between a spawn decision and the new task's first
+     *  fetch (context allocation, rename-map copy). */
+    int spawnStartupDelay = 2;
+    /** Model wrong-path spawns: while a mispredicted branch is
+     *  unresolved, fetch beyond it would have spawned bogus tasks;
+     *  each unresolved mispredict holds one task context hostage
+     *  ("ghost" context) until the branch resolves. */
+    bool wrongPathGhosts = true;
+    /** Use the compiler-provided register dependence masks from the
+     *  hint cache to synchronize consumers up front (the dynamic
+     *  rec_pred configuration has no compiler hints and always
+     *  learns by violation). */
+    bool compilerDepHints = true;
+    /** Extra cycles a diverted instruction spends between its
+     *  wake-up condition holding and re-entering rename (FIFO
+     *  re-dispatch cost of the divert queue). */
+    int divertReleaseDelay = 2;
+    /** ROB headroom reserved per older active task so that young
+     *  tasks cannot deadlock the in-order commit (see DESIGN.md). */
+    int robReservePerOlderTask = 16;
+    /**
+     * Paper future work (Section 6): let every task spawn, not just
+     * the tail. Each non-tail spawn splits that task's remaining
+     * range, so nested hammocks can spawn past their inner branch.
+     * One spawn per cycle (a single spawn-unit port).
+     */
+    bool spawnFromAnyTask = false;
+    /** @} */
+
+    int returnStackEntries = 16;
+
+    /** Superscalar baseline: same resources, a single task. */
+    static MachineConfig
+    superscalar()
+    {
+        MachineConfig c;
+        c.numTasks = 1;
+        c.fetchTasksPerCycle = 1;
+        return c;
+    }
+
+    std::string describe() const;
+};
+
+} // namespace polyflow
+
+#endif // POLYFLOW_SIM_CONFIG_HH

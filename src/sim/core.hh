@@ -1,0 +1,221 @@
+/**
+ * @file
+ * The PolyFlow cycle-level timing simulator.
+ *
+ * The machine (Figure 7 of the paper) is an SMT core running up to
+ * numTasks control-equivalent tasks carved out of one sequential
+ * stream. The model is execution-driven in two phases: the
+ * functional golden model produces the committed dynamic trace
+ * (isa/functional_sim.hh), and this engine replays it cycle by
+ * cycle with real predictors, caches and resource contention.
+ * Wrong-path fetch is modelled as a per-task fetch stall from the
+ * mispredicted fetch until branch resolution (see DESIGN.md for why
+ * this preserves the paper's first-order effects).
+ *
+ * Pipeline per cycle:
+ *   unblock -> commit -> divert-release -> issue -> rename ->
+ *   fetch(+spawn) -> violations/squash
+ */
+
+#ifndef POLYFLOW_SIM_CORE_HH
+#define POLYFLOW_SIM_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "isa/trace.hh"
+#include "sim/addr_index.hh"
+#include "sim/branch_pred.hh"
+#include "sim/cache.hh"
+#include "sim/config.hh"
+#include "sim/result.hh"
+#include "sim/spawn_source.hh"
+#include "sim/store_sets.hh"
+
+namespace polyflow {
+
+/**
+ * One timing simulation over a committed trace. Construct, then call
+ * run() exactly once.
+ */
+class TimingSim
+{
+  public:
+    /**
+     * @param config machine parameters
+     * @param trace committed dynamic trace from the functional sim
+     * @param source spawn source, or nullptr for the superscalar
+     *               baseline (no spawning)
+     */
+    TimingSim(const MachineConfig &config, const Trace &trace,
+              SpawnSource *source);
+
+    /** Simulate to completion and return the statistics. */
+    SimResult run(const std::string &policyName);
+
+    /** Record task lifecycle events into @p sink (optional; call
+     *  before run()). */
+    void traceTasks(std::vector<TaskEvent> *sink) { _events = sink; }
+
+  private:
+    enum class Stage : std::uint8_t {
+        None = 0,
+        Fetched = 1,
+        Diverted = 2,
+        InSched = 3,
+        Issued = 4,
+        Committed = 5,
+    };
+
+    struct InstrState
+    {
+        Stage stage = Stage::None;
+        std::uint64_t fetchCycle = 0;
+        std::uint64_t completeCycle = 0;
+    };
+
+    struct Task
+    {
+        TraceIdx begin = 0, end = 0;
+        TraceIdx fetchIdx = 0, dispIdx = 0;
+        std::uint64_t fetchReady = 0;
+        TraceIdx blockedOnBranch = invalidTrace;
+        std::uint32_t ghr = 0;
+        ReturnAddressStack ras;
+        Addr curFetchLine = invalidAddr;
+        std::uint64_t inflight = 0;  //!< fetched, not committed
+        int robHeld = 0;
+        Addr triggerPc = invalidAddr;  //!< spawn PC that created us
+        std::uint32_t divertedCount = 0;
+        /** Compiler hint: spawner-written live-in registers. */
+        std::uint32_t depMask = 0;
+    };
+
+    struct Violation
+    {
+        TraceIdx consumer;
+        /** Conflicting store for memory violations; invalidTrace
+         *  for stale register reads. */
+        TraceIdx store;
+    };
+
+    struct DivertEntry
+    {
+        TraceIdx idx;
+        /** Cycle the entry may re-enter rename once its wake-up
+         *  condition holds (0 = condition not yet observed). */
+        std::uint64_t readyAt = 0;
+    };
+
+    /** @name Cycle phases @{ */
+    void unblockTasks();
+    void commitPhase();
+    void releaseDiverted();
+    void issuePhase();
+    void renamePhase();
+    void fetchPhase();
+    void processViolations();
+    /** @} */
+
+    void maybeSpawn(Task &t, TraceIdx i, const LinkedInstr &li);
+    void squashFromTask(size_t taskPos);
+    void retireHead();
+
+    /** True if instruction @p i must (still) wait in the divert
+     *  queue: a synchronized producer has not been renamed yet. */
+    bool divertHolds(TraceIdx i, const DynInstr &d,
+                     const Task &t) const;
+    bool loadSyncNeeded(TraceIdx i, const DynInstr &d,
+                        const Task &t) const;
+    bool robAllowed(size_t taskPos) const;
+    int execLatency(const LinkedInstr &li) const;
+
+    Task *taskOf(TraceIdx i);
+    size_t taskPosOf(TraceIdx i) const;
+
+    bool
+    doneAt(TraceIdx p, std::uint64_t cycle) const
+    {
+        const InstrState &s = _state[p];
+        return s.stage == Stage::Committed ||
+            (s.stage == Stage::Issued && s.completeCycle <= cycle);
+    }
+
+    const LinkedInstr &
+    staticOf(TraceIdx i) const
+    {
+        return _trace->staticOf(i);
+    }
+
+    MachineConfig _cfg;
+    const Trace *_trace;
+    SpawnSource *_source;
+
+    std::vector<InstrState> _state;
+    std::vector<Task> _tasks;  //!< active tasks, oldest first
+    std::vector<TraceIdx> _sched;
+    std::deque<DivertEntry> _divert;
+    std::vector<Violation> _pendingViolations;
+    int _robUsed = 0;
+    TraceIdx _commitIdx = 0;
+    std::uint64_t _now = 0;
+
+    MemHierarchy _hier;
+    GsharePredictor _gshare;
+    IndirectPredictor _indirect;
+    StoreSetPredictor _storeSets;
+    RegDepPredictor _regPred;
+    std::unique_ptr<AddrIndex> _addrIndex;
+    /** loads indexed by the store they depend on (for violations). */
+    std::unordered_map<TraceIdx, std::vector<TraceIdx>>
+        _storeConsumers;
+
+    /** Spawn-profitability feedback (paper: "dynamic feedback about
+     *  which tasks are profitable"). */
+    struct Feedback
+    {
+        int spawns = 0;
+        int squashes = 0;
+        int unprofitable = 0;
+        int profitable = 0;
+    };
+    std::unordered_map<Addr, Feedback> _feedback;
+    std::unordered_set<Addr> _disabledTriggers;
+    /** Expiry cycles of contexts held by wrong-path (ghost) tasks. */
+    std::vector<std::uint64_t> _ghosts;
+
+    /** A spawn decided mid-fetch, applied at end of cycle so task
+     *  positions stay stable while fetchPhase iterates. */
+    struct PendingSpawn
+    {
+        bool valid = false;
+        TraceIdx parentBegin = 0;
+        TraceIdx start = 0;
+        TraceIdx end = 0;
+        SpawnHint hint{};
+        Addr triggerPc = invalidAddr;
+        std::uint32_t ghr = 0;
+        ReturnAddressStack ras;
+    };
+    void applyPendingSpawn();
+
+    PendingSpawn _pending;
+    SimResult _res;
+    std::vector<TaskEvent> *_events = nullptr;
+    bool _ran = false;
+};
+
+/**
+ * Convenience wrapper: run @p trace on @p config with an optional
+ * spawn source.
+ */
+SimResult simulate(const MachineConfig &config, const Trace &trace,
+                   SpawnSource *source, const std::string &name);
+
+} // namespace polyflow
+
+#endif // POLYFLOW_SIM_CORE_HH

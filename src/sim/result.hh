@@ -1,0 +1,81 @@
+/**
+ * @file
+ * SimResult: everything a timing run reports.
+ */
+
+#ifndef POLYFLOW_SIM_RESULT_HH
+#define POLYFLOW_SIM_RESULT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "spawn/spawn_point.hh"
+
+namespace polyflow {
+
+/** One task lifecycle event, for timeline tracing. */
+struct TaskEvent
+{
+    enum class Kind : std::uint8_t { Spawn, Retire, Squash };
+    Kind kind;
+    std::uint64_t cycle;
+    /** Trace range of the task. */
+    std::uint32_t begin, end;
+    /** Trigger PC that spawned it (invalid for the root task). */
+    std::uint64_t triggerPc;
+};
+
+/** Aggregate statistics from one timing-simulator run. */
+struct SimResult
+{
+    std::string policyName;
+    std::uint64_t cycles = 0;
+    std::uint64_t instrs = 0;
+
+    /** @name Task spawning @{ */
+    std::uint64_t spawns = 0;
+    std::array<std::uint64_t, numSpawnKinds> spawnsByKind{};
+    std::uint64_t spawnsSkippedNoContext = 0;
+    std::uint64_t spawnsSkippedDistance = 0;
+    std::uint64_t spawnsSkippedFeedback = 0;
+    std::uint64_t triggersDisabled = 0;
+    std::uint64_t tasksRetired = 0;
+    /** @} */
+
+    /** @name Squashes and synchronization @{ */
+    std::uint64_t violations = 0;
+    std::uint64_t tasksSquashed = 0;
+    std::uint64_t instrsDiverted = 0;
+    std::uint64_t divertQueueFullStalls = 0;
+    /** @} */
+
+    /** @name Front end @{ */
+    std::uint64_t condBranches = 0;
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t indirectMispredicts = 0;
+    std::uint64_t returnMispredicts = 0;
+    std::uint64_t icacheMisses = 0;
+    std::uint64_t dcacheMisses = 0;
+    /** @} */
+
+    double
+    ipc() const
+    {
+        return cycles ? double(instrs) / double(cycles) : 0.0;
+    }
+
+    /** Percent speedup of this run over @p baseline. */
+    double
+    speedupOver(const SimResult &baseline) const
+    {
+        if (cycles == 0)
+            return 0.0;
+        return 100.0 *
+            (double(baseline.cycles) / double(cycles) - 1.0);
+    }
+};
+
+} // namespace polyflow
+
+#endif // POLYFLOW_SIM_RESULT_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Spawn sources: where the Task Spawn Unit gets its spawn targets.
+ * Static sources are hint tables produced by compiler analysis;
+ * the dynamic source wraps the reconvergence predictor (Section 2.4).
+ */
+
+#ifndef POLYFLOW_SIM_SPAWN_SOURCE_HH
+#define POLYFLOW_SIM_SPAWN_SOURCE_HH
+
+#include <memory>
+#include <optional>
+
+#include "ir/module.hh"
+#include "recon/recon_predictor.hh"
+#include "spawn/policy.hh"
+#include "spawn/spawn_point.hh"
+
+namespace polyflow {
+
+/** A candidate spawn returned by a source at fetch time. */
+struct SpawnHint
+{
+    Addr targetPc;
+    SpawnKind kind;
+    /** Compiler dependence mask (0 for dynamic sources). */
+    std::uint32_t depMask = 0;
+};
+
+/**
+ * Interface the Task Spawn Unit queries at fetch and trains at
+ * commit.
+ */
+class SpawnSource
+{
+  public:
+    virtual ~SpawnSource() = default;
+
+    /** Spawn hint for fetching @p li, if any. */
+    virtual std::optional<SpawnHint> query(const LinkedInstr &li) = 0;
+
+    /** Observe one committed instruction (dynamic sources train). */
+    virtual void onCommit(const LinkedInstr &li, bool taken) = 0;
+};
+
+/** Static source: compiler-generated hint table, no training. */
+class StaticSpawnSource : public SpawnSource
+{
+  public:
+    explicit StaticSpawnSource(HintTable table)
+        : _table(std::move(table))
+    {}
+
+    std::optional<SpawnHint> query(const LinkedInstr &li) override;
+    void onCommit(const LinkedInstr &, bool) override {}
+
+    const HintTable &table() const { return _table; }
+
+  private:
+    HintTable _table;
+};
+
+/**
+ * Dynamic source: reconvergence-predictor spawns at conditional
+ * branches plus procedure fall-through spawns at calls (the rec_pred
+ * configuration of Section 4.4). Trains on the retirement stream,
+ * so warm-up effects are modelled.
+ */
+class ReconSpawnSource : public SpawnSource
+{
+  public:
+    explicit ReconSpawnSource(const ReconConfig &config = {})
+        : _predictor(config)
+    {}
+
+    std::optional<SpawnHint> query(const LinkedInstr &li) override;
+    void onCommit(const LinkedInstr &li, bool taken) override;
+
+    const ReconPredictor &predictor() const { return _predictor; }
+
+  private:
+    ReconPredictor _predictor;
+};
+
+/**
+ * DMT-style dynamic heuristics (Akkary & Driscoll, MICRO-31; the
+ * paper's Section 5): spawn at the static address directly
+ * following each backward branch (an approximate loop
+ * fall-through) and at procedure fall-throughs after calls. No
+ * compiler information, no reconvergence prediction — the baseline
+ * the paper's dynamic mechanism improves on.
+ */
+class DmtSpawnSource : public SpawnSource
+{
+  public:
+    std::optional<SpawnHint> query(const LinkedInstr &li) override;
+    void onCommit(const LinkedInstr &, bool) override {}
+};
+
+} // namespace polyflow
+
+#endif // POLYFLOW_SIM_SPAWN_SOURCE_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * A store-set style memory dependence predictor. Loads that have
+ * violated against a store in the past are predicted dependent and
+ * synchronized (diverted) instead of speculating again, in the
+ * spirit of the Synchronizing Store Sets used by PolyFlow.
+ */
+
+#ifndef POLYFLOW_SIM_STORE_SETS_HH
+#define POLYFLOW_SIM_STORE_SETS_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/types.hh"
+
+namespace polyflow {
+
+/** PC-indexed memory dependence predictor. */
+class StoreSetPredictor
+{
+  public:
+    /** True if the load at @p loadPc should synchronize. */
+    bool
+    predictsDependence(Addr loadPc) const
+    {
+        return _dependentLoads.count(loadPc) != 0;
+    }
+
+    /** Learn from a violation between a load and a store PC. */
+    void
+    recordViolation(Addr loadPc, Addr storePc)
+    {
+        _dependentLoads.insert(loadPc);
+        _pairs[loadPc] = storePc;
+        ++_violationsRecorded;
+    }
+
+    Addr
+    storeFor(Addr loadPc) const
+    {
+        auto it = _pairs.find(loadPc);
+        return it == _pairs.end() ? invalidAddr : it->second;
+    }
+
+    std::uint64_t violationsRecorded() const
+    {
+        return _violationsRecorded;
+    }
+    size_t numDependentLoads() const { return _dependentLoads.size(); }
+
+  private:
+    std::unordered_set<Addr> _dependentLoads;
+    std::unordered_map<Addr, Addr> _pairs;
+    std::uint64_t _violationsRecorded = 0;
+};
+
+/**
+ * PC-indexed register dependence predictor (the "data dependence
+ * predictors" in the rename stage of the PolyFlow pipeline,
+ * Figure 7). A consumer instruction that once read a stale register
+ * value produced by an older in-flight task is predicted dependent
+ * from then on and synchronized through the divert queue instead of
+ * re-speculating.
+ */
+class RegDepPredictor
+{
+  public:
+    bool
+    predictsDependence(Addr consumerPc) const
+    {
+        return _dependentConsumers.count(consumerPc) != 0;
+    }
+
+    void
+    recordViolation(Addr consumerPc)
+    {
+        _dependentConsumers.insert(consumerPc);
+        ++_violationsRecorded;
+    }
+
+    std::uint64_t violationsRecorded() const
+    {
+        return _violationsRecorded;
+    }
+    size_t numDependentConsumers() const
+    {
+        return _dependentConsumers.size();
+    }
+
+  private:
+    std::unordered_set<Addr> _dependentConsumers;
+    std::uint64_t _violationsRecorded = 0;
+};
+
+} // namespace polyflow
+
+#endif // POLYFLOW_SIM_STORE_SETS_HH

@@ -1,0 +1,112 @@
+#include "spawn/policy.hh"
+
+namespace polyflow {
+
+SpawnPolicy
+SpawnPolicy::none()
+{
+    return {"superscalar", 0};
+}
+
+SpawnPolicy
+SpawnPolicy::loop()
+{
+    return {"loop", kinds::loopIter};
+}
+
+SpawnPolicy
+SpawnPolicy::loopFT()
+{
+    return {"loopFT", kinds::loopFT};
+}
+
+SpawnPolicy
+SpawnPolicy::procFT()
+{
+    return {"procFT", kinds::procFT};
+}
+
+SpawnPolicy
+SpawnPolicy::hammock()
+{
+    return {"hammock", kinds::hammock};
+}
+
+SpawnPolicy
+SpawnPolicy::other()
+{
+    return {"other", kinds::other};
+}
+
+SpawnPolicy
+SpawnPolicy::postdoms()
+{
+    return {"postdoms", kinds::postdoms};
+}
+
+SpawnPolicy
+SpawnPolicy::loopPlusLoopFT()
+{
+    return {"loop+loopFT", kinds::loopIter | kinds::loopFT};
+}
+
+SpawnPolicy
+SpawnPolicy::loopFTPlusProcFT()
+{
+    return {"loopFT+procFT", kinds::loopFT | kinds::procFT};
+}
+
+SpawnPolicy
+SpawnPolicy::loopProcFTLoopFT()
+{
+    return {"loop+procFT+loopFT",
+            kinds::loopIter | kinds::procFT | kinds::loopFT};
+}
+
+SpawnPolicy
+SpawnPolicy::postdomsMinus(SpawnKind k)
+{
+    return {std::string("postdoms-") + spawnKindName(k),
+            kinds::postdoms & ~kindBit(k)};
+}
+
+namespace {
+
+/** Priority when several spawns share a trigger PC (higher wins). */
+int
+kindPriority(SpawnKind k)
+{
+    switch (k) {
+      case SpawnKind::LoopFT: return 5;
+      case SpawnKind::ProcFT: return 4;
+      case SpawnKind::Hammock: return 3;
+      case SpawnKind::Other: return 2;
+      case SpawnKind::LoopIter: return 1;
+      default: return 0;
+    }
+}
+
+} // namespace
+
+HintTable::HintTable(const SpawnAnalysis &analysis,
+                     const SpawnPolicy &policy)
+{
+    for (const SpawnPoint &p : analysis.points()) {
+        if (!(policy.kindMask & kindBit(p.kind)))
+            continue;
+        auto it = _byTrigger.find(p.triggerPc);
+        if (it == _byTrigger.end() ||
+            kindPriority(p.kind) > kindPriority(it->second.kind)) {
+            _byTrigger[p.triggerPc] = p;
+        }
+    }
+}
+
+const SpawnPoint *
+HintTable::lookup(Addr pc) const
+{
+    auto it = _byTrigger.find(pc);
+    return it == _byTrigger.end() ? nullptr : &it->second;
+}
+
+} // namespace polyflow

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Spawn points: (trigger PC, target PC) pairs with the paper's
+ * task-type classification.
+ */
+
+#ifndef POLYFLOW_SPAWN_SPAWN_POINT_HH
+#define POLYFLOW_SPAWN_SPAWN_POINT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "ir/types.hh"
+
+namespace polyflow {
+
+/**
+ * Task types from Section 2.2 of the paper, plus the loop-iteration
+ * heuristic of Section 2.3 (which is not a postdominator category but
+ * is evaluated as the "loop" policy).
+ */
+enum class SpawnKind : std::uint8_t {
+    LoopIter,   //!< loop-iteration spawn (heuristic "loop" policy)
+    LoopFT,     //!< immediate postdominator of a loop branch
+    ProcFT,     //!< immediate postdominator of a call (fall-through)
+    Hammock,    //!< join of a simple if-then / if-then-else
+    Other,      //!< complex control flow and indirect jumps
+    NumKinds,
+};
+
+constexpr int numSpawnKinds = static_cast<int>(SpawnKind::NumKinds);
+
+const char *spawnKindName(SpawnKind k);
+
+/** Bitmask helpers for policy composition. */
+constexpr unsigned
+kindBit(SpawnKind k)
+{
+    return 1u << static_cast<unsigned>(k);
+}
+
+namespace kinds {
+constexpr unsigned loopIter = kindBit(SpawnKind::LoopIter);
+constexpr unsigned loopFT = kindBit(SpawnKind::LoopFT);
+constexpr unsigned procFT = kindBit(SpawnKind::ProcFT);
+constexpr unsigned hammock = kindBit(SpawnKind::Hammock);
+constexpr unsigned other = kindBit(SpawnKind::Other);
+/** The four postdominator categories (the "postdoms" policy). */
+constexpr unsigned postdoms = loopFT | procFT | hammock | other;
+constexpr unsigned all = postdoms | loopIter;
+} // namespace kinds
+
+/** One static spawn opportunity. */
+struct SpawnPoint
+{
+    /** Fetching this PC triggers the spawn. */
+    Addr triggerPc = invalidAddr;
+    /** The new task begins at the next dynamic occurrence of this. */
+    Addr targetPc = invalidAddr;
+    SpawnKind kind = SpawnKind::Other;
+    FuncId func = invalidFunc;
+    /**
+     * Compiler-computed register dependence mask (the paper's
+     * 8-byte hint-cache entry): registers the spawning task's
+     * region may write that are live into the spawned task. The
+     * machine synchronizes consumers of these registers instead of
+     * speculating.
+     */
+    std::uint32_t depMask = 0;
+
+    std::string toString() const;
+};
+
+} // namespace polyflow
+
+#endif // POLYFLOW_SPAWN_SPAWN_POINT_HH

@@ -1,0 +1,48 @@
+#include "workloads/workloads.hh"
+
+#include <stdexcept>
+
+namespace polyflow {
+
+const std::vector<std::string> &
+allWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "bzip2", "crafty", "gap", "gcc", "gzip", "mcf",
+        "parser", "perlbmk", "twolf", "vortex", "vpr.place",
+        "vpr.route",
+    };
+    return names;
+}
+
+Workload
+buildWorkload(const std::string &name, double scale)
+{
+    if (name == "bzip2")
+        return buildBzip2(scale);
+    if (name == "crafty")
+        return buildCrafty(scale);
+    if (name == "gap")
+        return buildGap(scale);
+    if (name == "gcc")
+        return buildGcc(scale);
+    if (name == "gzip")
+        return buildGzip(scale);
+    if (name == "mcf")
+        return buildMcf(scale);
+    if (name == "parser")
+        return buildParser(scale);
+    if (name == "perlbmk")
+        return buildPerlbmk(scale);
+    if (name == "twolf")
+        return buildTwolf(scale);
+    if (name == "vortex")
+        return buildVortex(scale);
+    if (name == "vpr.place")
+        return buildVprPlace(scale);
+    if (name == "vpr.route")
+        return buildVprRoute(scale);
+    throw std::runtime_error("unknown workload: " + name);
+}
+
+} // namespace polyflow

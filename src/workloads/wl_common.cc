@@ -1,0 +1,77 @@
+#include "workloads/wl_common.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace polyflow {
+
+void
+padToStride(Function &fn, Addr stride, Addr stagger)
+{
+    Addr bytes = fn.numInstrs() * instrBytes;
+    fn.padding(stride - bytes % stride + stagger);
+}
+
+Addr
+allocRandomWords(Module &mod, const std::string &name, size_t count,
+                 WlRng &rng, std::uint64_t mask)
+{
+    Addr base = mod.allocData(name, count * 8);
+    std::vector<std::uint8_t> bytes(count * 8);
+    for (size_t i = 0; i < count; ++i) {
+        std::uint64_t v = rng.next() & mask;
+        for (int b = 0; b < 8; ++b)
+            bytes[i * 8 + b] = (v >> (8 * b)) & 0xff;
+    }
+    mod.setData(base, std::move(bytes));
+    return base;
+}
+
+Addr
+allocBitWords(Module &mod, const std::string &name, size_t count,
+              int percentOnes, WlRng &rng)
+{
+    Addr base = mod.allocData(name, count * 8);
+    std::vector<std::uint8_t> bytes(count * 8, 0);
+    for (size_t i = 0; i < count; ++i) {
+        if (rng.chance(percentOnes))
+            bytes[i * 8] = 1;
+    }
+    mod.setData(base, std::move(bytes));
+    return base;
+}
+
+Addr
+allocLinkedList(Module &mod, const std::string &name, size_t nodes,
+                int fieldsPerNode, WlRng &rng)
+{
+    size_t nodeBytes = size_t(fieldsPerNode + 1) * 8;
+    Addr base = mod.allocData(name, nodes * nodeBytes);
+
+    // Shuffle the traversal order so node addresses are not a
+    // simple sequential stream.
+    std::vector<size_t> order(nodes);
+    std::iota(order.begin(), order.end(), 0);
+    for (size_t i = nodes; i > 1; --i)
+        std::swap(order[i - 1], order[rng.range(i)]);
+
+    std::vector<std::uint8_t> bytes(nodes * nodeBytes, 0);
+    auto put64 = [&](size_t offset, std::uint64_t v) {
+        for (int b = 0; b < 8; ++b)
+            bytes[offset + b] = (v >> (8 * b)) & 0xff;
+    };
+    for (size_t i = 0; i < nodes; ++i) {
+        size_t slot = order[i];
+        size_t off = slot * nodeBytes;
+        for (int f = 0; f < fieldsPerNode; ++f)
+            put64(off + 8 * f, rng.next());
+        std::uint64_t nextAddr = 0;
+        if (i + 1 < nodes)
+            nextAddr = base + order[i + 1] * nodeBytes;
+        put64(off + 8 * fieldsPerNode, nextAddr);
+    }
+    mod.setData(base, std::move(bytes));
+    return base + order[0] * nodeBytes;
+}
+
+} // namespace polyflow

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shared helpers for the synthetic workload builders: a
+ * deterministic host-side PRNG for initializing data segments, and
+ * generators for common data shapes (random arrays, linked lists).
+ */
+
+#ifndef POLYFLOW_WORKLOADS_WL_COMMON_HH
+#define POLYFLOW_WORKLOADS_WL_COMMON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/builder.hh"
+#include "ir/module.hh"
+
+namespace polyflow {
+
+/** Deterministic xorshift64* PRNG for data-segment initialization. */
+class WlRng
+{
+  public:
+    explicit WlRng(std::uint64_t seed) : _s(seed ? seed : 0x1234567)
+    {}
+
+    std::uint64_t
+    next()
+    {
+        _s ^= _s >> 12;
+        _s ^= _s << 25;
+        _s ^= _s >> 27;
+        return _s * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform in [0, n). */
+    std::uint64_t range(std::uint64_t n) { return next() % n; }
+
+    /** True with probability @p percent / 100. */
+    bool chance(int percent)
+    {
+        return static_cast<int>(range(100)) < percent;
+    }
+
+  private:
+    std::uint64_t _s;
+};
+
+/** Allocate and fill an array of 64-bit pseudo-random words. */
+Addr allocRandomWords(Module &mod, const std::string &name,
+                      size_t count, WlRng &rng,
+                      std::uint64_t mask = ~0ull);
+
+/**
+ * Allocate and fill an array of 64-bit words that are 0 or 1, with
+ * the given probability (in percent) of being 1. The workloads use
+ * these as data-dependent branch inputs with controlled
+ * predictability.
+ */
+Addr allocBitWords(Module &mod, const std::string &name, size_t count,
+                   int percentOnes, WlRng &rng);
+
+/**
+ * Build a singly linked list in the data segment. Each node has
+ * @p fieldsPerNode 8-byte payload fields followed by the next
+ * pointer; the i-th payload field of each node is pseudo-random.
+ * Nodes are laid out in a shuffled order so address streams are not
+ * trivially sequential. Returns the head node address.
+ */
+Addr allocLinkedList(Module &mod, const std::string &name,
+                     size_t nodes, int fieldsPerNode, WlRng &rng);
+
+/** Byte offset of payload field @p i in an allocLinkedList node. */
+constexpr std::int64_t
+listField(int i)
+{
+    return 8 * i;
+}
+
+/** Byte offset of the next pointer with @p fieldsPerNode fields. */
+constexpr std::int64_t
+listNext(int fieldsPerNode)
+{
+    return 8 * fieldsPerNode;
+}
+
+/**
+ * Emit a counted loop skeleton. Creates header/body/latch/exit
+ * blocks; the caller supplies the body via @p bodyFn, which must
+ * leave the current block falling through to @p latch. The counter
+ * lives in @p counterReg, counting down from @p iterations to zero.
+ *
+ * Shape (iterations >= 1):
+ *   pre:    li counter, iterations
+ *   header: body...
+ *   latch:  addi counter, counter, -1; bne counter, r0, header
+ *   exit:
+ */
+struct LoopBlocks
+{
+    BlockId header;
+    BlockId latch;
+    BlockId exit;
+};
+
+/**
+ * Pad @p fn so the next function starts @p stride bytes past this
+ * function's start. Aligning hot functions to the L1I set-index
+ * stride (4 KiB for the Figure 8 L1I) makes their lines contend for
+ * the same sets, reproducing the capacity/conflict pressure of a
+ * benchmark whose real code footprint exceeds the cache.
+ */
+void padToStride(Function &fn, Addr stride = 4096, Addr stagger = 0);
+
+} // namespace polyflow
+
+#endif // POLYFLOW_WORKLOADS_WL_COMMON_HH

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the PRISC text assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "isa/functional_sim.hh"
+
+namespace polyflow {
+namespace {
+
+/** Assemble, link and run. */
+FuncSimResult
+run(const std::string &src)
+{
+    auto mod = assemble(src);
+    return runFunctional(mod->link());
+}
+
+TEST(Assembler, StraightLineArithmetic)
+{
+    auto r = run(R"(
+.func main
+.entry
+    li   t0, 6
+    addi t1, t0, 4      ; 10
+    mul  t2, t0, t1     ; 60
+    halt
+.endfunc
+)");
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.finalState->readReg(reg::t2), 60);
+}
+
+TEST(Assembler, LabelsAndLoops)
+{
+    auto r = run(R"(
+.func main
+.entry
+    li   t0, 5
+    li   t1, 0
+loop:
+    add  t1, t1, t0
+    addi t0, t0, -1
+    bne  t0, zero, loop
+done:
+    halt
+.endfunc
+)");
+    EXPECT_EQ(r.finalState->readReg(reg::t1), 15);
+}
+
+TEST(Assembler, DataAndLoadsStores)
+{
+    auto r = run(R"(
+.data buf 64
+.word buf 0 1234
+.word buf 8 4321
+.func main
+.entry
+    li   t0, buf
+    ld   t1, 0(t0)
+    ld   t2, 8(t0)
+    add  t3, t1, t2
+    sd   t3, 16(t0)
+    ld   t4, 16(t0)
+    halt
+.endfunc
+)");
+    EXPECT_EQ(r.finalState->readReg(reg::t4), 5555);
+}
+
+TEST(Assembler, CallsAcrossFunctions)
+{
+    auto r = run(R"(
+.func double_it
+    add a0, a0, a0
+    ret
+.endfunc
+.func main
+.entry
+    li a0, 21
+    call double_it
+    halt
+.endfunc
+)");
+    EXPECT_EQ(r.finalState->readReg(reg::a0), 42);
+}
+
+TEST(Assembler, ForwardFunctionReference)
+{
+    auto r = run(R"(
+.func main
+.entry
+    li a0, 1
+    call helper
+    halt
+.endfunc
+.func helper
+    addi a0, a0, 99
+    ret
+.endfunc
+)");
+    EXPECT_EQ(r.finalState->readReg(reg::a0), 100);
+}
+
+TEST(Assembler, IndirectJumpWithTargets)
+{
+    auto mod = assemble(R"(
+.data jt 16
+.func main
+.entry
+    li   t0, jt
+    ld   t1, 8(t0)
+    jr   t1, case0, case1
+case0:
+    li   a0, 1
+    j    out
+case1:
+    li   a0, 2
+out:
+    halt
+.endfunc
+)");
+    // The jr block declares both cases as indirect successors.
+    const Function &f = mod->function(0);
+    bool found = false;
+    for (size_t b = 0; b < f.numBlocks(); ++b) {
+        const BasicBlock &bb = f.block(BlockId(b));
+        if (bb.hasTerminator() &&
+            bb.terminator().isIndirectJump()) {
+            EXPECT_EQ(bb.indirectSuccs().size(), 2u);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+    mod->link();  // links cleanly
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    auto mod = assemble(R"(
+; leading comment
+.func main            # trailing comment
+.entry
+
+    li t0, 7          ; mid comment
+    halt
+.endfunc
+)");
+    EXPECT_EQ(mod->numFunctions(), 1u);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    try {
+        assemble(".func main\n.entry\n    bogus t0, t1\n    halt\n"
+                 ".endfunc\n");
+        FAIL() << "expected AsmError";
+    } catch (const AsmError &e) {
+        EXPECT_EQ(e.line(), 3);
+        EXPECT_NE(std::string(e.what()).find("bogus"),
+                  std::string::npos);
+    }
+}
+
+TEST(Assembler, RejectsUnknownLabel)
+{
+    EXPECT_THROW(
+        assemble(".func main\n.entry\n    j nowhere\n    halt\n"
+                 ".endfunc\n"),
+        AsmError);
+}
+
+TEST(Assembler, RejectsUnknownFunction)
+{
+    EXPECT_THROW(
+        assemble(".func main\n.entry\n    call missing\n    halt\n"
+                 ".endfunc\n"),
+        AsmError);
+}
+
+TEST(Assembler, RejectsDuplicateLabel)
+{
+    EXPECT_THROW(assemble(".func main\n.entry\nx:\n    nop\nx:\n"
+                          "    halt\n.endfunc\n"),
+                 AsmError);
+}
+
+TEST(Assembler, RejectsMissingEndfunc)
+{
+    EXPECT_THROW(assemble(".func main\n.entry\n    halt\n"), AsmError);
+}
+
+TEST(Assembler, RejectsStatementOutsideFunc)
+{
+    EXPECT_THROW(assemble("    li t0, 1\n"), AsmError);
+}
+
+TEST(Assembler, RejectsBadRegister)
+{
+    EXPECT_THROW(
+        assemble(".func main\n.entry\n    li t99, 1\n    halt\n"
+                 ".endfunc\n"),
+        AsmError);
+}
+
+TEST(Assembler, RegisterAliases)
+{
+    auto r = run(R"(
+.func main
+.entry
+    li   r8, 3       ; r8 == t0
+    addi s0, t0, 2
+    halt
+.endfunc
+)");
+    EXPECT_EQ(r.finalState->readReg(reg::s0), 5);
+}
+
+TEST(Assembler, NegativeAndHexImmediates)
+{
+    auto r = run(R"(
+.func main
+.entry
+    li   t0, -5
+    li   t1, 0xff
+    and  t2, t0, t1
+    halt
+.endfunc
+)");
+    EXPECT_EQ(r.finalState->readReg(reg::t1), 0xff);
+    EXPECT_EQ(r.finalState->readReg(reg::t2), 0xfb);
+}
+
+} // namespace
+} // namespace polyflow

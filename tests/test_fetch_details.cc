@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests pinning down front-end details of the timing model: the
+ * taken-branch-per-cycle limit, the fetch-queue cap, frontend
+ * depth, I-cache line behaviour during fetch, and the biased-ICount
+ * fetch arbitration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "isa/functional_sim.hh"
+#include "sim/core.hh"
+#include "spawn/policy.hh"
+#include "spawn/spawn_analysis.hh"
+
+namespace polyflow {
+namespace {
+
+/** Functional trace of a built module (keeps the program alive). */
+struct Built
+{
+    Module mod{"t"};
+    LinkedProgram prog;
+    std::unique_ptr<FuncSimResult> fr;
+
+    void
+    finish(bool record = true)
+    {
+        prog = mod.link();
+        FuncSimOptions opt;
+        opt.recordTrace = record;
+        fr = std::make_unique<FuncSimResult>(
+            runFunctional(prog, opt));
+    }
+};
+
+TEST(FetchDetails, TakenBranchLimitThrottlesJumpChains)
+{
+    // A long chain of unconditional jumps: with at most one taken
+    // branch fetched per cycle, the superscalar needs >= one cycle
+    // per jump even though each block is one instruction.
+    Built b;
+    Function &f = b.mod.createFunction("main");
+    {
+        FunctionBuilder fb(f);
+        constexpr int n = 200;
+        std::vector<BlockId> blocks;
+        for (int i = 0; i < n; ++i)
+            blocks.push_back(fb.newBlock());
+        fb.jump(blocks[0]);
+        for (int i = 0; i < n; ++i) {
+            fb.setBlock(blocks[i]);
+            if (i + 1 < n)
+                fb.jump(blocks[i + 1]);
+            else
+                fb.halt();
+        }
+    }
+    b.finish();
+    SimResult r = simulate(MachineConfig::superscalar(), b.fr->trace,
+                           nullptr, "ss");
+    EXPECT_GE(r.cycles, 200u);
+}
+
+TEST(FetchDetails, StraightLineFetchesFullWidth)
+{
+    // Independent straight-line code reaches several IPC once the
+    // lines are warm (loop over the same code).
+    Built b;
+    Function &f = b.mod.createFunction("main");
+    {
+        FunctionBuilder fb(f);
+        BlockId loop = fb.newBlock();
+        BlockId done = fb.newBlock();
+        fb.li(reg::t1, 50);
+        fb.jump(loop);
+        fb.setBlock(loop);
+        for (int i = 0; i < 24; ++i)
+            fb.addi(RegId(reg::s0 + i % 8), reg::a0, i);
+        fb.addi(reg::t1, reg::t1, -1);
+        fb.bne(reg::t1, reg::zero, loop);
+        fb.setBlock(done);
+        fb.halt();
+    }
+    b.finish();
+    SimResult r = simulate(MachineConfig::superscalar(), b.fr->trace,
+                           nullptr, "ss");
+    EXPECT_GT(r.ipc(), 3.0);
+}
+
+TEST(FetchDetails, FrontendDepthBoundsBestCaseLatency)
+{
+    // Even a single instruction takes at least
+    // frontendDepth + issue + complete cycles.
+    Built b;
+    Function &f = b.mod.createFunction("main");
+    {
+        FunctionBuilder fb(f);
+        fb.halt();
+    }
+    b.finish();
+    MachineConfig cfg = MachineConfig::superscalar();
+    SimResult r = simulate(cfg, b.fr->trace, nullptr, "ss");
+    EXPECT_GE(r.cycles, std::uint64_t(cfg.frontendDepth + 1));
+    EXPECT_LE(r.cycles, 200u);  // and not absurdly slow
+}
+
+TEST(FetchDetails, ColdICacheChargesPerLine)
+{
+    // 256 straight-line instructions = 8 lines of 128B. Every line
+    // misses L1I and L2 exactly once on a cold start.
+    Built b;
+    Function &f = b.mod.createFunction("main");
+    {
+        FunctionBuilder fb(f);
+        for (int i = 0; i < 255; ++i)
+            fb.nop();
+        fb.halt();
+    }
+    b.finish();
+    MachineConfig cfg = MachineConfig::superscalar();
+    SimResult r = simulate(cfg, b.fr->trace, nullptr, "ss");
+    EXPECT_EQ(r.icacheMisses, 8u);
+    // Each cold line costs the full L1->L2->mem latency.
+    EXPECT_GE(r.cycles,
+              8u * std::uint64_t(cfg.l1i.missLatency +
+                                 cfg.l2.missLatency));
+}
+
+TEST(FetchDetails, MispredictPenaltyHasFloor)
+{
+    // One hard-to-predict branch per loop iteration: cycles per
+    // iteration on the correct path must reflect at least the
+    // minimum penalty on mispredicted iterations.
+    Built b;
+    Function &f = b.mod.createFunction("main");
+    // Pseudo-random branch bits defeat gshare.
+    Addr bits = b.mod.allocData("bits", 512 * 8);
+    {
+        std::vector<std::uint8_t> raw(512 * 8, 0);
+        std::uint64_t x = 99;
+        for (int i = 0; i < 512; ++i) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            raw[size_t(i) * 8] = x & 1;
+        }
+        b.mod.setData(bits, std::move(raw));
+    }
+    {
+        FunctionBuilder fb(f);
+        BlockId loop = fb.newBlock();
+        BlockId thenB = fb.newBlock();
+        BlockId latch = fb.newBlock();
+        BlockId done = fb.newBlock();
+        fb.li(reg::t0, std::int64_t(bits));
+        fb.li(reg::t1, 512);
+        fb.jump(loop);
+        fb.setBlock(loop);
+        fb.ld(reg::t2, reg::t0, 0);
+        fb.beq(reg::t2, reg::zero, latch);
+        fb.setBlock(thenB);
+        fb.addi(reg::t3, reg::t3, 1);
+        fb.setBlock(latch);
+        fb.addi(reg::t0, reg::t0, 8);
+        fb.addi(reg::t1, reg::t1, -1);
+        fb.bne(reg::t1, reg::zero, loop);
+        fb.setBlock(done);
+        fb.halt();
+    }
+    b.finish();
+    MachineConfig cfg = MachineConfig::superscalar();
+    SimResult r = simulate(cfg, b.fr->trace, nullptr, "ss");
+    ASSERT_GT(r.branchMispredicts, 100u);
+    // Lower bound: mispredicts * minimum penalty.
+    EXPECT_GE(r.cycles,
+              r.branchMispredicts *
+                  std::uint64_t(cfg.minMispredictPenalty) / 2);
+}
+
+TEST(FetchDetails, PolyFlowFetchesFromTwoTasks)
+{
+    // Two independent halves separated by a procFT spawn: PolyFlow
+    // with fetchTasksPerCycle=2 beats a config limited to 1.
+    Built b;
+    Function &g = b.mod.createFunction("work");
+    {
+        FunctionBuilder fb(g);
+        BlockId loop = fb.newBlock();
+        BlockId done = fb.newBlock();
+        fb.li(reg::t1, 30);
+        fb.jump(loop);
+        fb.setBlock(loop);
+        for (int i = 0; i < 24; ++i)
+            fb.addi(RegId(reg::t2 + i % 4), reg::a0, i);
+        fb.addi(reg::t1, reg::t1, -1);
+        fb.bne(reg::t1, reg::zero, loop);
+        fb.setBlock(done);
+        fb.ret();
+    }
+    Function &f = b.mod.createFunction("main");
+    {
+        FunctionBuilder fb(f);
+        fb.call(g.id());
+        fb.call(g.id());
+        fb.halt();
+    }
+    b.mod.entryFunction(f.id());
+    b.finish();
+
+    SpawnAnalysis sa(b.mod, b.prog);
+    MachineConfig two;
+    two.maxSpawnDistance = 2000;
+    MachineConfig one = two;
+    one.fetchTasksPerCycle = 1;
+    StaticSpawnSource s1{HintTable(sa, SpawnPolicy::procFT())};
+    StaticSpawnSource s2{HintTable(sa, SpawnPolicy::procFT())};
+    SimResult rTwo = simulate(two, b.fr->trace, &s1, "two");
+    SimResult rOne = simulate(one, b.fr->trace, &s2, "one");
+    EXPECT_GT(rTwo.spawns, 0u);
+    // Dual-task fetch must help when fetch bandwidth is the
+    // bottleneck (small predictor interactions aside).
+    EXPECT_LE(rTwo.cycles, rOne.cycles * 101 / 100);
+}
+
+} // namespace
+} // namespace polyflow

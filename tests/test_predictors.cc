@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the machine-side predictors and memories: gshare,
+ * indirect target prediction, the return address stack, the cache
+ * hierarchy, the store-set and register dependence predictors, and
+ * the trace address index.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "isa/functional_sim.hh"
+#include "sim/addr_index.hh"
+#include "sim/branch_pred.hh"
+#include "sim/cache.hh"
+#include "sim/store_sets.hh"
+
+namespace polyflow {
+namespace {
+
+TEST(Gshare, LearnsBiasedBranch)
+{
+    MachineConfig cfg;
+    GsharePredictor g(cfg);
+    std::uint32_t h = 0;
+    for (int i = 0; i < 50; ++i) {
+        g.update(0x4000, h, true);
+        h = g.shiftHistory(h, true);
+    }
+    EXPECT_TRUE(g.predict(0x4000, h));
+}
+
+TEST(Gshare, LearnsAlternatingWithHistory)
+{
+    MachineConfig cfg;
+    GsharePredictor g(cfg);
+    std::uint32_t h = 0;
+    int correct = 0, total = 0;
+    for (int i = 0; i < 400; ++i) {
+        bool taken = i % 2 == 0;
+        bool pred = g.predict(0x4000, h);
+        if (i > 100) {
+            ++total;
+            correct += (pred == taken);
+        }
+        g.update(0x4000, h, taken);
+        h = g.shiftHistory(h, taken);
+    }
+    // With 8 bits of history an alternating pattern is learnable.
+    EXPECT_GT(correct * 100, total * 95);
+}
+
+TEST(Gshare, CountsMispredicts)
+{
+    MachineConfig cfg;
+    GsharePredictor g(cfg);
+    for (int i = 0; i < 10; ++i)
+        g.update(0x4000, 0, false);  // initial counters predict taken
+    EXPECT_GT(g.mispredicts(), 0u);
+}
+
+TEST(IndirectPredictor, LastTargetBehaviour)
+{
+    IndirectPredictor p;
+    EXPECT_EQ(p.predict(0x100), invalidAddr);
+    p.update(0x100, 0x2000);
+    EXPECT_EQ(p.predict(0x100), 0x2000u);
+    p.update(0x100, 0x3000);
+    EXPECT_EQ(p.predict(0x100), 0x3000u);
+}
+
+TEST(ReturnAddressStack, LifoAndOverflow)
+{
+    ReturnAddressStack ras(4);
+    for (Addr a = 1; a <= 6; ++a)
+        ras.push(a * 0x10);
+    // Capacity 4: oldest two dropped.
+    EXPECT_EQ(ras.depth(), 4u);
+    EXPECT_EQ(ras.pop(), 0x60u);
+    EXPECT_EQ(ras.pop(), 0x50u);
+    EXPECT_EQ(ras.pop(), 0x40u);
+    EXPECT_EQ(ras.pop(), 0x30u);
+    EXPECT_EQ(ras.pop(), invalidAddr);
+}
+
+TEST(Cache, HitsAfterFill)
+{
+    Cache c({1024, 2, 64, 10});
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1038));  // same 64B line
+    EXPECT_FALSE(c.access(0x1040)); // next line
+    EXPECT_EQ(c.misses(), 2u);
+    EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(Cache, LruEvictionWithinSet)
+{
+    // 1KB, 2-way, 64B lines -> 8 sets; addresses 512 bytes apart
+    // map to the same set.
+    Cache c({1024, 2, 64, 10});
+    Addr a = 0x0, b = 0x200, d = 0x400;
+    c.access(a);
+    c.access(b);
+    EXPECT_TRUE(c.probe(a));
+    EXPECT_TRUE(c.probe(b));
+    c.access(d);  // evicts LRU = a
+    EXPECT_FALSE(c.probe(a));
+    EXPECT_TRUE(c.probe(b));
+    EXPECT_TRUE(c.probe(d));
+    // Touch b, then a: now d is LRU.
+    c.access(b);
+    c.access(a);
+    EXPECT_FALSE(c.probe(d));
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    EXPECT_THROW(Cache({1000, 3, 60, 10}), std::runtime_error);
+}
+
+TEST(MemHierarchy, LatenciesCompose)
+{
+    MachineConfig cfg;
+    MemHierarchy h(cfg);
+    // Cold: L1 miss + L2 miss.
+    EXPECT_EQ(h.accessData(0x8000),
+              1 + cfg.l1d.missLatency + cfg.l2.missLatency);
+    // Warm in both.
+    EXPECT_EQ(h.accessData(0x8000), 1);
+    // A different address in the same L2 line but different L1
+    // line: L1 miss, L2 hit.
+    EXPECT_EQ(h.accessData(0x8040), 1 + cfg.l1d.missLatency);
+}
+
+TEST(MemHierarchy, InstrAndDataAreSeparateL1s)
+{
+    MachineConfig cfg;
+    MemHierarchy h(cfg);
+    h.accessInstr(0x9000);
+    // Data access to the same address still misses L1D (hits L2).
+    EXPECT_EQ(h.accessData(0x9000), 1 + cfg.l1d.missLatency);
+}
+
+TEST(StoreSets, LearnsAndPredicts)
+{
+    StoreSetPredictor p;
+    EXPECT_FALSE(p.predictsDependence(0x100));
+    p.recordViolation(0x100, 0x80);
+    EXPECT_TRUE(p.predictsDependence(0x100));
+    EXPECT_EQ(p.storeFor(0x100), 0x80u);
+    EXPECT_EQ(p.violationsRecorded(), 1u);
+    EXPECT_FALSE(p.predictsDependence(0x104));
+}
+
+TEST(RegDepPredictor, LearnsConsumers)
+{
+    RegDepPredictor p;
+    EXPECT_FALSE(p.predictsDependence(0x200));
+    p.recordViolation(0x200);
+    EXPECT_TRUE(p.predictsDependence(0x200));
+    EXPECT_EQ(p.numDependentConsumers(), 1u);
+}
+
+TEST(AddrIndex, NextOccurrence)
+{
+    // Build a 3-iteration loop and index its trace.
+    Module m("t");
+    Function &f = m.createFunction("main");
+    BlockId loop;
+    {
+        FunctionBuilder b(f);
+        loop = b.newBlock();
+        BlockId done = b.newBlock();
+        b.li(reg::t0, 3);
+        b.jump(loop);
+        b.setBlock(loop);
+        b.addi(reg::t0, reg::t0, -1);
+        b.bne(reg::t0, reg::zero, loop);
+        b.setBlock(done);
+        b.halt();
+    }
+    LinkedProgram p = m.link();
+    FuncSimOptions opt;
+    opt.recordTrace = true;
+    auto r = runFunctional(p, opt);
+    AddrIndex idx(r.trace);
+
+    Addr loopPc = f.block(loop).startAddr();
+    EXPECT_EQ(idx.count(loopPc), 3u);
+    TraceIdx first = idx.nextOccurrence(loopPc, 0);
+    ASSERT_NE(first, invalidTrace);
+    TraceIdx second = idx.nextOccurrence(loopPc, first);
+    ASSERT_NE(second, invalidTrace);
+    EXPECT_GT(second, first);
+    // After the last occurrence, nothing.
+    TraceIdx third = idx.nextOccurrence(loopPc, second);
+    ASSERT_NE(third, invalidTrace);
+    EXPECT_EQ(idx.nextOccurrence(loopPc, third), invalidTrace);
+    EXPECT_EQ(idx.nextOccurrence(0xdead, 0), invalidTrace);
+}
+
+} // namespace
+} // namespace polyflow

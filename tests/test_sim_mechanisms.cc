@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Targeted tests for the timing simulator's individual mechanisms:
+ * wrong-path ghost contexts, compiler dependence hints, spawn
+ * feedback, divert-release delay, return-address-stack and
+ * indirect-target misprediction accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "isa/functional_sim.hh"
+#include "sim/core.hh"
+#include "spawn/policy.hh"
+#include "spawn/spawn_analysis.hh"
+#include "workloads/wl_common.hh"
+#include "workloads/workloads.hh"
+
+namespace polyflow {
+namespace {
+
+struct Prepared
+{
+    Workload w;
+    std::unique_ptr<FuncSimResult> fr;
+    std::unique_ptr<SpawnAnalysis> sa;
+
+    SimResult
+    run(const SpawnPolicy &pol, const MachineConfig &cfg)
+    {
+        StaticSpawnSource src{HintTable(*sa, pol)};
+        return simulate(cfg, fr->trace, &src, pol.name);
+    }
+};
+
+Prepared
+prepare(const std::string &name, double scale)
+{
+    Prepared p;
+    p.w = buildWorkload(name, scale);
+    FuncSimOptions opt;
+    opt.recordTrace = true;
+    p.fr = std::make_unique<FuncSimResult>(
+        runFunctional(p.w.prog, opt));
+    p.sa = std::make_unique<SpawnAnalysis>(*p.w.module, p.w.prog);
+    return p;
+}
+
+TEST(Mechanisms, GhostContextsThrottleSpawnsUnderMispredicts)
+{
+    // twolf is mispredict-dense: holding a context per unresolved
+    // mispredict must reduce spawn throughput.
+    Prepared p = prepare("twolf", 0.1);
+    MachineConfig on;
+    MachineConfig off;
+    off.wrongPathGhosts = false;
+    SimResult rOn = p.run(SpawnPolicy::loop(), on);
+    SimResult rOff = p.run(SpawnPolicy::loop(), off);
+    EXPECT_LT(rOn.spawns, rOff.spawns);
+}
+
+TEST(Mechanisms, CompilerHintsPreventViolations)
+{
+    // Without hints, cross-task register consumers speculate and
+    // squash once per consumer PC before the predictor learns.
+    Prepared p = prepare("twolf", 0.1);
+    MachineConfig hints;
+    MachineConfig noHints;
+    noHints.compilerDepHints = false;
+    SimResult rH = p.run(SpawnPolicy::postdoms(), hints);
+    SimResult rN = p.run(SpawnPolicy::postdoms(), noHints);
+    EXPECT_LT(rH.violations, rN.violations);
+}
+
+TEST(Mechanisms, DependenceMasksComputed)
+{
+    // twolf's loopFT spawn out of the inner loop must carry a
+    // nonempty dependence mask (the accumulator registers and the
+    // list cursor are written in the region and live at the join).
+    Prepared p = prepare("twolf", 0.05);
+    bool sawMask = false;
+    for (const SpawnPoint &sp : p.sa->points()) {
+        if (sp.kind == SpawnKind::LoopFT && sp.depMask != 0)
+            sawMask = true;
+        // r0 never appears in a mask.
+        EXPECT_EQ(sp.depMask & 1u, 0u);
+    }
+    EXPECT_TRUE(sawMask);
+}
+
+TEST(Mechanisms, FeedbackDisablesUnprofitableTriggers)
+{
+    // A fully serial chain loop: every loop-iteration task's
+    // instructions cascade into the divert queue (the first consumer
+    // synchronizes cross-task, and its same-task dependents follow
+    // it), so the profitability feedback must disable the trigger.
+    Module m("t");
+    Function &f = m.createFunction("main");
+    {
+        FunctionBuilder b(f);
+        BlockId loop = b.newBlock();
+        BlockId done = b.newBlock();
+        b.li(reg::t0, 3);
+        b.li(reg::t1, 800);
+        b.jump(loop);
+        b.setBlock(loop);
+        for (int i = 0; i < 8; ++i) {
+            b.slli(reg::t2, reg::t0, 1);
+            b.add(reg::t0, reg::t0, reg::t2);
+        }
+        b.addi(reg::t1, reg::t1, -1);
+        b.bne(reg::t1, reg::zero, loop);
+        b.setBlock(done);
+        b.halt();
+    }
+    LinkedProgram prog = m.link();
+    FuncSimOptions opt;
+    opt.recordTrace = true;
+    auto fr = runFunctional(prog, opt);
+    ASSERT_TRUE(fr.halted);
+    SpawnAnalysis sa(m, prog);
+
+    MachineConfig fb;
+    StaticSpawnSource s1{HintTable(sa, SpawnPolicy::loop())};
+    SimResult r = simulate(fb, fr.trace, &s1, "loop");
+    EXPECT_GT(r.spawnsSkippedFeedback, 0u);
+    EXPECT_GT(r.triggersDisabled, 0u);
+
+    MachineConfig noFb;
+    noFb.spawnFeedback = false;
+    StaticSpawnSource s2{HintTable(sa, SpawnPolicy::loop())};
+    SimResult r2 = simulate(noFb, fr.trace, &s2, "loop");
+    EXPECT_EQ(r2.spawnsSkippedFeedback, 0u);
+    EXPECT_GT(r2.spawns, r.spawns);
+}
+
+TEST(Mechanisms, DivertReleaseDelaySlowsSynchronizedChains)
+{
+    Prepared p = prepare("twolf", 0.1);
+    MachineConfig fast;
+    fast.divertReleaseDelay = 0;
+    MachineConfig slow;
+    slow.divertReleaseDelay = 12;
+    SimResult rF = p.run(SpawnPolicy::postdoms(), fast);
+    SimResult rS = p.run(SpawnPolicy::postdoms(), slow);
+    EXPECT_LT(rF.cycles, rS.cycles);
+}
+
+TEST(Mechanisms, SpawnDistanceCapFiltersFarTargets)
+{
+    Prepared p = prepare("twolf", 0.1);
+    MachineConfig tight;
+    tight.maxSpawnDistance = 16;
+    SimResult r = p.run(SpawnPolicy::postdoms(), tight);
+    EXPECT_GT(r.spawnsSkippedDistance, 0u);
+}
+
+TEST(Mechanisms, ReturnMispredictsOnDeepRecursion)
+{
+    // Recursion deeper than the 16-entry RAS must overflow it and
+    // mispredict some returns.
+    Module m("t");
+    Function &f = m.createFunction("rec");
+    {
+        FunctionBuilder b(f);
+        BlockId recurse = b.newBlock();
+        BlockId out = b.newBlock();
+        b.beq(reg::a0, reg::zero, out);
+        b.setBlock(recurse);
+        b.addi(reg::sp, reg::sp, -16);
+        b.sd(reg::ra, reg::sp, 0);
+        b.addi(reg::a0, reg::a0, -1);
+        b.call(0);
+        b.ld(reg::ra, reg::sp, 0);
+        b.addi(reg::sp, reg::sp, 16);
+        b.setBlock(out);
+        b.ret();
+    }
+    Function &main = m.createFunction("main");
+    {
+        FunctionBuilder b(main);
+        b.li(reg::a0, 40);  // depth 40 >> 16 RAS entries
+        b.call(f.id());
+        b.halt();
+    }
+    m.entryFunction(main.id());
+    LinkedProgram prog = m.link();
+    FuncSimOptions opt;
+    opt.recordTrace = true;
+    auto r = runFunctional(prog, opt);
+    ASSERT_TRUE(r.halted);
+    SimResult s = simulate(MachineConfig::superscalar(), r.trace,
+                           nullptr, "ss");
+    EXPECT_GT(s.returnMispredicts, 10u);
+
+    // A generous RAS removes them.
+    MachineConfig big = MachineConfig::superscalar();
+    big.returnStackEntries = 64;
+    SimResult s2 = simulate(big, r.trace, nullptr, "ss");
+    EXPECT_EQ(s2.returnMispredicts, 0u);
+}
+
+TEST(Mechanisms, IndirectTargetPredictionAccounting)
+{
+    // A two-target switch alternating every iteration defeats the
+    // last-target predictor almost always.
+    Module m("t");
+    WlRng rng(5);
+    Function &f = m.createFunction("main");
+    BlockId c0, c1;
+    Addr jt;
+    {
+        FunctionBuilder b(f);
+        BlockId loop = b.newBlock("loop");
+        BlockId disp = b.newBlock("disp");
+        c0 = b.newBlock("c0");
+        c1 = b.newBlock("c1");
+        BlockId latch = b.newBlock("latch");
+        BlockId done = b.newBlock("done");
+        b.li(reg::t0, 200);
+        b.li(reg::t1, 0);
+        b.jump(loop);
+        b.setBlock(loop);
+        b.andi(reg::t2, reg::t0, 1);  // alternate
+        b.slli(reg::t2, reg::t2, 3);
+        b.jump(disp);
+        b.setBlock(disp);
+        b.add(reg::t3, reg::t2, reg::t4);  // t4 = table base
+        b.ld(reg::t3, reg::t3, 0);
+        b.jr(reg::t3, {c0, c1});
+        b.setBlock(c0);
+        b.addi(reg::t1, reg::t1, 1);
+        b.jump(latch);
+        b.setBlock(c1);
+        b.addi(reg::t1, reg::t1, 2);
+        b.setBlock(latch);
+        b.addi(reg::t0, reg::t0, -1);
+        b.bne(reg::t0, reg::zero, loop);
+        b.setBlock(done);
+        b.halt();
+    }
+    jt = m.allocJumpTable("jt", {{f.id(), c0}, {f.id(), c1}});
+    // Patch t4 with the table base via an li at entry.
+    f.block(0).instrs().insert(
+        f.block(0).instrs().begin(), [&] {
+            Instruction i;
+            i.op = Opcode::LUI;
+            i.rd = reg::t4;
+            i.imm = std::int64_t(jt);
+            return i;
+        }());
+    LinkedProgram prog = m.link();
+    FuncSimOptions opt;
+    opt.recordTrace = true;
+    auto r = runFunctional(prog, opt);
+    ASSERT_TRUE(r.halted);
+    SimResult s = simulate(MachineConfig::superscalar(), r.trace,
+                           nullptr, "ss");
+    EXPECT_GT(s.indirectMispredicts, 150u);
+}
+
+TEST(Mechanisms, TasksRetiredEqualsSpawnsPlusOne)
+{
+    for (const std::string &name : {"twolf", "mcf", "vortex"}) {
+        Prepared p = prepare(name, 0.05);
+        SimResult r = p.run(SpawnPolicy::postdoms(), MachineConfig{});
+        EXPECT_EQ(r.tasksRetired, r.spawns + 1) << name;
+    }
+}
+
+TEST(Mechanisms, AnyTaskSpawningLiftsTailRestriction)
+{
+    // Section 6 extension: with spawn-from-any-task, non-tail tasks
+    // keep spawning, so total spawns must not drop and usually rise.
+    Prepared p = prepare("twolf", 0.1);
+    MachineConfig tail;
+    MachineConfig any;
+    any.spawnFromAnyTask = true;
+    SimResult rT = p.run(SpawnPolicy::postdoms(), tail);
+    SimResult rA = p.run(SpawnPolicy::postdoms(), any);
+    EXPECT_EQ(rA.instrs, rT.instrs);
+    EXPECT_GE(rA.spawns + 8, rT.spawns);
+    EXPECT_EQ(rA.tasksRetired, rA.spawns + 1);
+}
+
+TEST(Mechanisms, DmtSourceSpawnsLoopAndProcFallThroughs)
+{
+    Prepared p = prepare("twolf", 0.1);
+    DmtSpawnSource dmt;
+    SimResult r = simulate(MachineConfig{}, p.fr->trace, &dmt, "dmt");
+    EXPECT_EQ(r.instrs, p.fr->trace.size());
+    EXPECT_GT(r.spawnsByKind[int(SpawnKind::LoopFT)], 0u);
+    EXPECT_EQ(r.spawnsByKind[int(SpawnKind::Hammock)], 0u);
+    EXPECT_EQ(r.spawnsByKind[int(SpawnKind::Other)], 0u);
+}
+
+TEST(Mechanisms, TaskEventsAreConsistent)
+{
+    Prepared p = prepare("mcf", 0.05);
+    StaticSpawnSource src{
+        HintTable(*p.sa, SpawnPolicy::postdoms())};
+    std::vector<TaskEvent> events;
+    TimingSim sim(MachineConfig{}, p.fr->trace, &src);
+    sim.traceTasks(&events);
+    SimResult r = sim.run("postdoms");
+
+    std::uint64_t spawns = 0, retires = 0, squashes = 0;
+    std::uint64_t last = 0;
+    for (const TaskEvent &e : events) {
+        EXPECT_GE(e.cycle, last * 0);  // cycles are sane
+        EXPECT_LT(e.begin, e.end);
+        switch (e.kind) {
+          case TaskEvent::Kind::Spawn: ++spawns; break;
+          case TaskEvent::Kind::Retire: ++retires; break;
+          case TaskEvent::Kind::Squash: ++squashes; break;
+        }
+        last = e.cycle;
+    }
+    EXPECT_EQ(spawns, r.spawns);
+    EXPECT_EQ(retires, r.tasksRetired);
+    EXPECT_EQ(squashes, r.tasksSquashed);
+}
+
+TEST(Mechanisms, SpeedupArithmetic)
+{
+    SimResult base;
+    base.cycles = 2000;
+    base.instrs = 1000;
+    SimResult faster;
+    faster.cycles = 1000;
+    faster.instrs = 1000;
+    EXPECT_DOUBLE_EQ(faster.speedupOver(base), 100.0);
+    EXPECT_DOUBLE_EQ(base.speedupOver(base), 0.0);
+    EXPECT_DOUBLE_EQ(base.ipc(), 0.5);
+}
+
+} // namespace
+} // namespace polyflow

