@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_resources.dir/ablation_resources.cc.o"
+  "CMakeFiles/ablation_resources.dir/ablation_resources.cc.o.d"
+  "ablation_resources"
+  "ablation_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

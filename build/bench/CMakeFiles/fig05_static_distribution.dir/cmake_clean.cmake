@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_static_distribution.dir/fig05_static_distribution.cc.o"
+  "CMakeFiles/fig05_static_distribution.dir/fig05_static_distribution.cc.o.d"
+  "fig05_static_distribution"
+  "fig05_static_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_static_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

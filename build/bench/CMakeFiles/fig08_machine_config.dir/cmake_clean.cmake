@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_machine_config.dir/fig08_machine_config.cc.o"
+  "CMakeFiles/fig08_machine_config.dir/fig08_machine_config.cc.o.d"
+  "fig08_machine_config"
+  "fig08_machine_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_machine_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

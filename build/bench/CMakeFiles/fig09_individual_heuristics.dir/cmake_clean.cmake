@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_individual_heuristics.dir/fig09_individual_heuristics.cc.o"
+  "CMakeFiles/fig09_individual_heuristics.dir/fig09_individual_heuristics.cc.o.d"
+  "fig09_individual_heuristics"
+  "fig09_individual_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_individual_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

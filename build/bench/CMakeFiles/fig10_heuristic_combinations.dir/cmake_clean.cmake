@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_heuristic_combinations.dir/fig10_heuristic_combinations.cc.o"
+  "CMakeFiles/fig10_heuristic_combinations.dir/fig10_heuristic_combinations.cc.o.d"
+  "fig10_heuristic_combinations"
+  "fig10_heuristic_combinations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_heuristic_combinations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_exclusion_loss.dir/fig11_exclusion_loss.cc.o"
+  "CMakeFiles/fig11_exclusion_loss.dir/fig11_exclusion_loss.cc.o.d"
+  "fig11_exclusion_loss"
+  "fig11_exclusion_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_exclusion_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

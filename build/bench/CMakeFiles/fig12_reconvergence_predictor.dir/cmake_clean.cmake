@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_reconvergence_predictor.dir/fig12_reconvergence_predictor.cc.o"
+  "CMakeFiles/fig12_reconvergence_predictor.dir/fig12_reconvergence_predictor.cc.o.d"
+  "fig12_reconvergence_predictor"
+  "fig12_reconvergence_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_reconvergence_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_analysis.dir/micro_analysis.cc.o"
+  "CMakeFiles/micro_analysis.dir/micro_analysis.cc.o.d"
+  "micro_analysis"
+  "micro_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

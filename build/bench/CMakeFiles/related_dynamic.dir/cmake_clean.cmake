@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_dynamic.dir/related_dynamic.cc.o"
+  "CMakeFiles/related_dynamic.dir/related_dynamic.cc.o.d"
+  "related_dynamic"
+  "related_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

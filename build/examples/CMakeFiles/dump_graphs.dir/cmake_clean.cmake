@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_graphs.dir/dump_graphs.cc.o"
+  "CMakeFiles/dump_graphs.dir/dump_graphs.cc.o.d"
+  "dump_graphs"
+  "dump_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

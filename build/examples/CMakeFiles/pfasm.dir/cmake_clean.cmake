@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfasm.dir/pfasm.cc.o"
+  "CMakeFiles/pfasm.dir/pfasm.cc.o.d"
+  "pfasm"
+  "pfasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

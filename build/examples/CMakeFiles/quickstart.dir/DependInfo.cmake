@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cc" "examples/CMakeFiles/quickstart.dir/quickstart.cc.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pf_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/pf_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/spawn/CMakeFiles/pf_spawn.dir/DependInfo.cmake"
+  "/root/repo/build/src/recon/CMakeFiles/pf_recon.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pf_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pf_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

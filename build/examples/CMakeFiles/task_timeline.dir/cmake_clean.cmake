@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_timeline.dir/task_timeline.cc.o"
+  "CMakeFiles/task_timeline.dir/task_timeline.cc.o.d"
+  "task_timeline"
+  "task_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

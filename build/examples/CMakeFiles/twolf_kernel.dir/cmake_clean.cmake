@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twolf_kernel.dir/twolf_kernel.cc.o"
+  "CMakeFiles/twolf_kernel.dir/twolf_kernel.cc.o.d"
+  "twolf_kernel"
+  "twolf_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twolf_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/callgraph.cc" "src/analysis/CMakeFiles/pf_analysis.dir/callgraph.cc.o" "gcc" "src/analysis/CMakeFiles/pf_analysis.dir/callgraph.cc.o.d"
+  "/root/repo/src/analysis/cfg_view.cc" "src/analysis/CMakeFiles/pf_analysis.dir/cfg_view.cc.o" "gcc" "src/analysis/CMakeFiles/pf_analysis.dir/cfg_view.cc.o.d"
+  "/root/repo/src/analysis/control_dep.cc" "src/analysis/CMakeFiles/pf_analysis.dir/control_dep.cc.o" "gcc" "src/analysis/CMakeFiles/pf_analysis.dir/control_dep.cc.o.d"
+  "/root/repo/src/analysis/dominators.cc" "src/analysis/CMakeFiles/pf_analysis.dir/dominators.cc.o" "gcc" "src/analysis/CMakeFiles/pf_analysis.dir/dominators.cc.o.d"
+  "/root/repo/src/analysis/dot.cc" "src/analysis/CMakeFiles/pf_analysis.dir/dot.cc.o" "gcc" "src/analysis/CMakeFiles/pf_analysis.dir/dot.cc.o.d"
+  "/root/repo/src/analysis/iterative_dom.cc" "src/analysis/CMakeFiles/pf_analysis.dir/iterative_dom.cc.o" "gcc" "src/analysis/CMakeFiles/pf_analysis.dir/iterative_dom.cc.o.d"
+  "/root/repo/src/analysis/liveness.cc" "src/analysis/CMakeFiles/pf_analysis.dir/liveness.cc.o" "gcc" "src/analysis/CMakeFiles/pf_analysis.dir/liveness.cc.o.d"
+  "/root/repo/src/analysis/loops.cc" "src/analysis/CMakeFiles/pf_analysis.dir/loops.cc.o" "gcc" "src/analysis/CMakeFiles/pf_analysis.dir/loops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pf_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

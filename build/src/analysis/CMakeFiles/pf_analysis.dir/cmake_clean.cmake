@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_analysis.dir/callgraph.cc.o"
+  "CMakeFiles/pf_analysis.dir/callgraph.cc.o.d"
+  "CMakeFiles/pf_analysis.dir/cfg_view.cc.o"
+  "CMakeFiles/pf_analysis.dir/cfg_view.cc.o.d"
+  "CMakeFiles/pf_analysis.dir/control_dep.cc.o"
+  "CMakeFiles/pf_analysis.dir/control_dep.cc.o.d"
+  "CMakeFiles/pf_analysis.dir/dominators.cc.o"
+  "CMakeFiles/pf_analysis.dir/dominators.cc.o.d"
+  "CMakeFiles/pf_analysis.dir/dot.cc.o"
+  "CMakeFiles/pf_analysis.dir/dot.cc.o.d"
+  "CMakeFiles/pf_analysis.dir/iterative_dom.cc.o"
+  "CMakeFiles/pf_analysis.dir/iterative_dom.cc.o.d"
+  "CMakeFiles/pf_analysis.dir/liveness.cc.o"
+  "CMakeFiles/pf_analysis.dir/liveness.cc.o.d"
+  "CMakeFiles/pf_analysis.dir/loops.cc.o"
+  "CMakeFiles/pf_analysis.dir/loops.cc.o.d"
+  "libpf_analysis.a"
+  "libpf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

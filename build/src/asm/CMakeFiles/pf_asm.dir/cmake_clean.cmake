@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_asm.dir/assembler.cc.o"
+  "CMakeFiles/pf_asm.dir/assembler.cc.o.d"
+  "libpf_asm.a"
+  "libpf_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_ir.dir/basic_block.cc.o"
+  "CMakeFiles/pf_ir.dir/basic_block.cc.o.d"
+  "CMakeFiles/pf_ir.dir/function.cc.o"
+  "CMakeFiles/pf_ir.dir/function.cc.o.d"
+  "CMakeFiles/pf_ir.dir/instruction.cc.o"
+  "CMakeFiles/pf_ir.dir/instruction.cc.o.d"
+  "CMakeFiles/pf_ir.dir/module.cc.o"
+  "CMakeFiles/pf_ir.dir/module.cc.o.d"
+  "CMakeFiles/pf_ir.dir/printer.cc.o"
+  "CMakeFiles/pf_ir.dir/printer.cc.o.d"
+  "CMakeFiles/pf_ir.dir/transforms.cc.o"
+  "CMakeFiles/pf_ir.dir/transforms.cc.o.d"
+  "libpf_ir.a"
+  "libpf_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/arch_state.cc" "src/isa/CMakeFiles/pf_isa.dir/arch_state.cc.o" "gcc" "src/isa/CMakeFiles/pf_isa.dir/arch_state.cc.o.d"
+  "/root/repo/src/isa/exec.cc" "src/isa/CMakeFiles/pf_isa.dir/exec.cc.o" "gcc" "src/isa/CMakeFiles/pf_isa.dir/exec.cc.o.d"
+  "/root/repo/src/isa/functional_sim.cc" "src/isa/CMakeFiles/pf_isa.dir/functional_sim.cc.o" "gcc" "src/isa/CMakeFiles/pf_isa.dir/functional_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pf_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_isa.dir/arch_state.cc.o"
+  "CMakeFiles/pf_isa.dir/arch_state.cc.o.d"
+  "CMakeFiles/pf_isa.dir/exec.cc.o"
+  "CMakeFiles/pf_isa.dir/exec.cc.o.d"
+  "CMakeFiles/pf_isa.dir/functional_sim.cc.o"
+  "CMakeFiles/pf_isa.dir/functional_sim.cc.o.d"
+  "libpf_isa.a"
+  "libpf_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_recon.dir/recon_predictor.cc.o"
+  "CMakeFiles/pf_recon.dir/recon_predictor.cc.o.d"
+  "libpf_recon.a"
+  "libpf_recon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_recon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/addr_index.cc" "src/sim/CMakeFiles/pf_sim.dir/addr_index.cc.o" "gcc" "src/sim/CMakeFiles/pf_sim.dir/addr_index.cc.o.d"
+  "/root/repo/src/sim/branch_pred.cc" "src/sim/CMakeFiles/pf_sim.dir/branch_pred.cc.o" "gcc" "src/sim/CMakeFiles/pf_sim.dir/branch_pred.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/pf_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/pf_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/sim/CMakeFiles/pf_sim.dir/config.cc.o" "gcc" "src/sim/CMakeFiles/pf_sim.dir/config.cc.o.d"
+  "/root/repo/src/sim/core.cc" "src/sim/CMakeFiles/pf_sim.dir/core.cc.o" "gcc" "src/sim/CMakeFiles/pf_sim.dir/core.cc.o.d"
+  "/root/repo/src/sim/spawn_source.cc" "src/sim/CMakeFiles/pf_sim.dir/spawn_source.cc.o" "gcc" "src/sim/CMakeFiles/pf_sim.dir/spawn_source.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pf_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/spawn/CMakeFiles/pf_spawn.dir/DependInfo.cmake"
+  "/root/repo/build/src/recon/CMakeFiles/pf_recon.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pf_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_sim.dir/addr_index.cc.o"
+  "CMakeFiles/pf_sim.dir/addr_index.cc.o.d"
+  "CMakeFiles/pf_sim.dir/branch_pred.cc.o"
+  "CMakeFiles/pf_sim.dir/branch_pred.cc.o.d"
+  "CMakeFiles/pf_sim.dir/cache.cc.o"
+  "CMakeFiles/pf_sim.dir/cache.cc.o.d"
+  "CMakeFiles/pf_sim.dir/config.cc.o"
+  "CMakeFiles/pf_sim.dir/config.cc.o.d"
+  "CMakeFiles/pf_sim.dir/core.cc.o"
+  "CMakeFiles/pf_sim.dir/core.cc.o.d"
+  "CMakeFiles/pf_sim.dir/spawn_source.cc.o"
+  "CMakeFiles/pf_sim.dir/spawn_source.cc.o.d"
+  "libpf_sim.a"
+  "libpf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

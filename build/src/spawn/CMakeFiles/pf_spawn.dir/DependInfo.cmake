@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spawn/policy.cc" "src/spawn/CMakeFiles/pf_spawn.dir/policy.cc.o" "gcc" "src/spawn/CMakeFiles/pf_spawn.dir/policy.cc.o.d"
+  "/root/repo/src/spawn/spawn_analysis.cc" "src/spawn/CMakeFiles/pf_spawn.dir/spawn_analysis.cc.o" "gcc" "src/spawn/CMakeFiles/pf_spawn.dir/spawn_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pf_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

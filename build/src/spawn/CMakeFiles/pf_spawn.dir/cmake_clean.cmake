@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_spawn.dir/policy.cc.o"
+  "CMakeFiles/pf_spawn.dir/policy.cc.o.d"
+  "CMakeFiles/pf_spawn.dir/spawn_analysis.cc.o"
+  "CMakeFiles/pf_spawn.dir/spawn_analysis.cc.o.d"
+  "libpf_spawn.a"
+  "libpf_spawn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_spawn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

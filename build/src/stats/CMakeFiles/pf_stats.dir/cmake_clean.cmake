@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_stats.dir/table.cc.o"
+  "CMakeFiles/pf_stats.dir/table.cc.o.d"
+  "libpf_stats.a"
+  "libpf_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/pf_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/pf_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/wl_bzip2.cc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_bzip2.cc.o" "gcc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_bzip2.cc.o.d"
+  "/root/repo/src/workloads/wl_common.cc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_common.cc.o" "gcc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_common.cc.o.d"
+  "/root/repo/src/workloads/wl_crafty.cc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_crafty.cc.o" "gcc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_crafty.cc.o.d"
+  "/root/repo/src/workloads/wl_gap.cc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_gap.cc.o" "gcc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_gap.cc.o.d"
+  "/root/repo/src/workloads/wl_gcc.cc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_gcc.cc.o" "gcc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_gcc.cc.o.d"
+  "/root/repo/src/workloads/wl_gzip.cc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_gzip.cc.o" "gcc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_gzip.cc.o.d"
+  "/root/repo/src/workloads/wl_mcf.cc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_mcf.cc.o" "gcc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_mcf.cc.o.d"
+  "/root/repo/src/workloads/wl_parser.cc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_parser.cc.o" "gcc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_parser.cc.o.d"
+  "/root/repo/src/workloads/wl_perlbmk.cc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_perlbmk.cc.o" "gcc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_perlbmk.cc.o.d"
+  "/root/repo/src/workloads/wl_twolf.cc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_twolf.cc.o" "gcc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_twolf.cc.o.d"
+  "/root/repo/src/workloads/wl_vortex.cc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_vortex.cc.o" "gcc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_vortex.cc.o.d"
+  "/root/repo/src/workloads/wl_vpr.cc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_vpr.cc.o" "gcc" "src/workloads/CMakeFiles/pf_workloads.dir/wl_vpr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pf_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_workloads.dir/registry.cc.o"
+  "CMakeFiles/pf_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/pf_workloads.dir/wl_bzip2.cc.o"
+  "CMakeFiles/pf_workloads.dir/wl_bzip2.cc.o.d"
+  "CMakeFiles/pf_workloads.dir/wl_common.cc.o"
+  "CMakeFiles/pf_workloads.dir/wl_common.cc.o.d"
+  "CMakeFiles/pf_workloads.dir/wl_crafty.cc.o"
+  "CMakeFiles/pf_workloads.dir/wl_crafty.cc.o.d"
+  "CMakeFiles/pf_workloads.dir/wl_gap.cc.o"
+  "CMakeFiles/pf_workloads.dir/wl_gap.cc.o.d"
+  "CMakeFiles/pf_workloads.dir/wl_gcc.cc.o"
+  "CMakeFiles/pf_workloads.dir/wl_gcc.cc.o.d"
+  "CMakeFiles/pf_workloads.dir/wl_gzip.cc.o"
+  "CMakeFiles/pf_workloads.dir/wl_gzip.cc.o.d"
+  "CMakeFiles/pf_workloads.dir/wl_mcf.cc.o"
+  "CMakeFiles/pf_workloads.dir/wl_mcf.cc.o.d"
+  "CMakeFiles/pf_workloads.dir/wl_parser.cc.o"
+  "CMakeFiles/pf_workloads.dir/wl_parser.cc.o.d"
+  "CMakeFiles/pf_workloads.dir/wl_perlbmk.cc.o"
+  "CMakeFiles/pf_workloads.dir/wl_perlbmk.cc.o.d"
+  "CMakeFiles/pf_workloads.dir/wl_twolf.cc.o"
+  "CMakeFiles/pf_workloads.dir/wl_twolf.cc.o.d"
+  "CMakeFiles/pf_workloads.dir/wl_vortex.cc.o"
+  "CMakeFiles/pf_workloads.dir/wl_vortex.cc.o.d"
+  "CMakeFiles/pf_workloads.dir/wl_vpr.cc.o"
+  "CMakeFiles/pf_workloads.dir/wl_vpr.cc.o.d"
+  "libpf_workloads.a"
+  "libpf_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_props.dir/test_exec_props.cc.o"
+  "CMakeFiles/test_exec_props.dir/test_exec_props.cc.o.d"
+  "test_exec_props"
+  "test_exec_props.pdb"
+  "test_exec_props[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fetch_details.dir/test_fetch_details.cc.o"
+  "CMakeFiles/test_fetch_details.dir/test_fetch_details.cc.o.d"
+  "test_fetch_details"
+  "test_fetch_details.pdb"
+  "test_fetch_details[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fetch_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

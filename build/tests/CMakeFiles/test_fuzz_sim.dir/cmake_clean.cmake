@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_sim.dir/test_fuzz_sim.cc.o"
+  "CMakeFiles/test_fuzz_sim.dir/test_fuzz_sim.cc.o.d"
+  "test_fuzz_sim"
+  "test_fuzz_sim.pdb"
+  "test_fuzz_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recon.dir/test_recon.cc.o"
+  "CMakeFiles/test_recon.dir/test_recon.cc.o.d"
+  "test_recon"
+  "test_recon.pdb"
+  "test_recon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

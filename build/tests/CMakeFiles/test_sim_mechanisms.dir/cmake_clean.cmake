@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_mechanisms.dir/test_sim_mechanisms.cc.o"
+  "CMakeFiles/test_sim_mechanisms.dir/test_sim_mechanisms.cc.o.d"
+  "test_sim_mechanisms"
+  "test_sim_mechanisms.pdb"
+  "test_sim_mechanisms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

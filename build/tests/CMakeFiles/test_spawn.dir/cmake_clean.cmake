@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spawn.dir/test_spawn.cc.o"
+  "CMakeFiles/test_spawn.dir/test_spawn.cc.o.d"
+  "test_spawn"
+  "test_spawn.pdb"
+  "test_spawn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spawn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spawn_sources.dir/test_spawn_sources.cc.o"
+  "CMakeFiles/test_spawn_sources.dir/test_spawn_sources.cc.o.d"
+  "test_spawn_sources"
+  "test_spawn_sources.pdb"
+  "test_spawn_sources[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spawn_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_character.dir/test_workload_character.cc.o"
+  "CMakeFiles/test_workload_character.dir/test_workload_character.cc.o.d"
+  "test_workload_character"
+  "test_workload_character.pdb"
+  "test_workload_character[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_character.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
