@@ -3,7 +3,9 @@
  * Ablations over the design choices DESIGN.md calls out: task-count
  * sweep, divert-queue size, ROB size, spawn-distance cap, and the
  * profitability/ghost-context mechanisms, on two representative
- * workloads (twolf: loop-structured; mcf: hard hammocks).
+ * workloads (twolf: loop-structured; mcf: hard hammocks). The whole
+ * grid is declared up front and runs on the sweep engine; tables
+ * print afterwards in declaration order.
  */
 
 #include "bench_util.hh"
@@ -13,105 +15,134 @@ using namespace polyflow::bench;
 
 namespace {
 
-void
-sweep(const std::string &title, const TracedWorkload &tw,
-      const SimResult &base,
-      const std::vector<std::pair<std::string, MachineConfig>> &cfgs)
+struct Section
 {
-    Table t({"config", "cycles", "IPC", "speedup%", "spawns",
-             "violations"});
-    for (const auto &[name, cfg] : cfgs) {
-        SimResult r = runPolicy(tw, SpawnPolicy::postdoms(), cfg);
-        t.startRow();
-        t.cell(name);
-        t.cell((long long)r.cycles);
-        t.cell(r.ipc());
-        t.cell(r.speedupOver(base), 1);
-        t.cell((long long)r.spawns);
-        t.cell((long long)r.violations);
+    std::string title;
+    std::vector<std::pair<std::string, MachineConfig>> cfgs;
+};
+
+std::vector<Section>
+sections()
+{
+    std::vector<Section> out;
+    {
+        Section s{"task contexts", {}};
+        for (int n : {1, 2, 4, 8, 16}) {
+            MachineConfig c;
+            c.numTasks = n;
+            s.cfgs.emplace_back("tasks=" + std::to_string(n), c);
+        }
+        out.push_back(std::move(s));
     }
-    std::cout << "--- " << title << " ---\n";
-    t.print(std::cout);
-    std::cout << "\n";
+    {
+        Section s{"divert queue entries", {}};
+        for (int n : {16, 32, 64, 128, 256, 512}) {
+            MachineConfig c;
+            c.divertEntries = n;
+            s.cfgs.emplace_back("divert=" + std::to_string(n), c);
+        }
+        out.push_back(std::move(s));
+    }
+    {
+        Section s{"reorder buffer entries", {}};
+        for (int n : {128, 256, 512, 1024}) {
+            MachineConfig c;
+            c.robEntries = n;
+            s.cfgs.emplace_back("rob=" + std::to_string(n), c);
+        }
+        out.push_back(std::move(s));
+    }
+    {
+        Section s{"max spawn distance", {}};
+        for (unsigned d : {64u, 128u, 256u, 512u, 2048u, 8192u}) {
+            MachineConfig c;
+            c.maxSpawnDistance = d;
+            s.cfgs.emplace_back("maxDist=" + std::to_string(d), c);
+        }
+        out.push_back(std::move(s));
+    }
+    {
+        Section s{"spawn-unit mechanisms", {}};
+        MachineConfig on;
+        s.cfgs.emplace_back("feedback+ghosts", on);
+        MachineConfig noFb;
+        noFb.spawnFeedback = false;
+        s.cfgs.emplace_back("no feedback", noFb);
+        MachineConfig noGhost;
+        noGhost.wrongPathGhosts = false;
+        s.cfgs.emplace_back("no wrong-path ghosts", noGhost);
+        MachineConfig neither;
+        neither.spawnFeedback = false;
+        neither.wrongPathGhosts = false;
+        s.cfgs.emplace_back("neither", neither);
+        out.push_back(std::move(s));
+    }
+    {
+        // Paper Section 6 future work: spawn from any task, not
+        // just the tail (nested hammocks can then spawn past their
+        // inner branch).
+        Section s{"spawn source task (Section 6 extension)", {}};
+        MachineConfig tail;
+        s.cfgs.emplace_back("tail-only (paper)", tail);
+        MachineConfig any;
+        any.spawnFromAnyTask = true;
+        s.cfgs.emplace_back("spawn-from-any-task", any);
+        out.push_back(std::move(s));
+    }
+    return out;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Ablations: resource and policy knobs (postdoms policy)");
 
-    for (const std::string &wl : {"twolf", "mcf"}) {
-        TracedWorkload tw = traceWorkload(wl, benchScale() * 0.5);
-        SimResult base = runBaseline(tw);
+    const std::vector<std::string> workloads = {"twolf", "mcf"};
+    const double scale = benchScale() * 0.5;
+    const std::vector<Section> secs = sections();
+
+    // Per workload: one superscalar baseline, then every section
+    // config under postdoms.
+    std::vector<driver::SweepCell> cells;
+    for (const std::string &wl : workloads) {
+        cells.push_back({wl, scale, driver::SourceSpec::baseline(),
+                         MachineConfig::superscalar(),
+                         "superscalar"});
+        for (const Section &s : secs) {
+            for (const auto &[name, cfg] : s.cfgs) {
+                cells.push_back({wl, scale,
+                                 driver::SourceSpec::statics(
+                                     SpawnPolicy::postdoms()),
+                                 cfg, name});
+            }
+        }
+    }
+    driver::SweepRunner runner(driver::jobsFromArgs(argc, argv));
+    const auto results = runner.run(cells);
+
+    size_t idx = 0;
+    for (const std::string &wl : workloads) {
+        const SimResult &base = results[idx++].sim;
         std::cout << "== workload " << wl
                   << " (superscalar IPC " << base.ipc() << ") ==\n\n";
-
-        {
-            std::vector<std::pair<std::string, MachineConfig>> cfgs;
-            for (int n : {1, 2, 4, 8, 16}) {
-                MachineConfig c;
-                c.numTasks = n;
-                cfgs.emplace_back("tasks=" + std::to_string(n), c);
+        for (const Section &s : secs) {
+            Table t({"config", "cycles", "IPC", "speedup%", "spawns",
+                     "violations"});
+            for (size_t k = 0; k < s.cfgs.size(); ++k) {
+                const SimResult &r = results[idx++].sim;
+                t.startRow();
+                t.cell(s.cfgs[k].first);
+                t.cell((long long)r.cycles);
+                t.cell(r.ipc());
+                t.cell(r.speedupOver(base), 1);
+                t.cell((long long)r.spawns);
+                t.cell((long long)r.violations);
             }
-            sweep("task contexts", tw, base, cfgs);
-        }
-        {
-            std::vector<std::pair<std::string, MachineConfig>> cfgs;
-            for (int n : {16, 32, 64, 128, 256, 512}) {
-                MachineConfig c;
-                c.divertEntries = n;
-                cfgs.emplace_back("divert=" + std::to_string(n), c);
-            }
-            sweep("divert queue entries", tw, base, cfgs);
-        }
-        {
-            std::vector<std::pair<std::string, MachineConfig>> cfgs;
-            for (int n : {128, 256, 512, 1024}) {
-                MachineConfig c;
-                c.robEntries = n;
-                cfgs.emplace_back("rob=" + std::to_string(n), c);
-            }
-            sweep("reorder buffer entries", tw, base, cfgs);
-        }
-        {
-            std::vector<std::pair<std::string, MachineConfig>> cfgs;
-            for (unsigned d : {64u, 128u, 256u, 512u, 2048u, 8192u}) {
-                MachineConfig c;
-                c.maxSpawnDistance = d;
-                cfgs.emplace_back("maxDist=" + std::to_string(d), c);
-            }
-            sweep("max spawn distance", tw, base, cfgs);
-        }
-        {
-            std::vector<std::pair<std::string, MachineConfig>> cfgs;
-            MachineConfig on;
-            cfgs.emplace_back("feedback+ghosts", on);
-            MachineConfig noFb;
-            noFb.spawnFeedback = false;
-            cfgs.emplace_back("no feedback", noFb);
-            MachineConfig noGhost;
-            noGhost.wrongPathGhosts = false;
-            cfgs.emplace_back("no wrong-path ghosts", noGhost);
-            MachineConfig neither;
-            neither.spawnFeedback = false;
-            neither.wrongPathGhosts = false;
-            cfgs.emplace_back("neither", neither);
-            sweep("spawn-unit mechanisms", tw, base, cfgs);
-        }
-        {
-            // Paper Section 6 future work: spawn from any task, not
-            // just the tail (nested hammocks can then spawn past
-            // their inner branch).
-            std::vector<std::pair<std::string, MachineConfig>> cfgs;
-            MachineConfig tail;
-            cfgs.emplace_back("tail-only (paper)", tail);
-            MachineConfig any;
-            any.spawnFromAnyTask = true;
-            cfgs.emplace_back("spawn-from-any-task", any);
-            sweep("spawn source task (Section 6 extension)", tw,
-                  base, cfgs);
+            std::cout << "--- " << s.title << " ---\n";
+            t.print(std::cout);
+            std::cout << "\n";
         }
     }
     return 0;

@@ -1,75 +1,45 @@
 /**
  * @file
- * Shared plumbing for the figure-regeneration benches: build a
- * workload, trace it, run a policy lineup, and print paper-style
- * tables.
+ * Shared plumbing for the figure-regeneration benches: scale and
+ * job-count knobs plus the standard banner. The simulation grids
+ * themselves run through the sweep engine (driver/sweep.hh) — no
+ * bench loops over simulate() serially anymore.
  */
 
 #ifndef POLYFLOW_BENCH_BENCH_UTIL_HH
 #define POLYFLOW_BENCH_BENCH_UTIL_HH
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
-#include <vector>
 
-#include "isa/functional_sim.hh"
-#include "sim/core.hh"
-#include "spawn/policy.hh"
-#include "spawn/spawn_analysis.hh"
+#include "driver/sweep.hh"
+#include "sim/config.hh"
 #include "stats/table.hh"
 #include "workloads/workloads.hh"
 
 namespace polyflow::bench {
 
-/** Workload scale for benches; override with PF_BENCH_SCALE. */
+/**
+ * Workload scale for benches; override with PF_BENCH_SCALE. A value
+ * that does not parse as a finite positive number is a hard error
+ * (atof's silent 0 used to turn every workload into a few
+ * instructions).
+ */
 inline double
 benchScale()
 {
-    if (const char *s = std::getenv("PF_BENCH_SCALE"))
-        return std::atof(s);
-    return 1.0;
-}
-
-/** A traced workload ready for timing runs. */
-struct TracedWorkload
-{
-    Workload workload;
-    Trace trace;
-    std::unique_ptr<FuncSimResult> funcResult;  // owns the trace data
-};
-
-inline TracedWorkload
-traceWorkload(const std::string &name, double scale)
-{
-    TracedWorkload tw;
-    tw.workload = buildWorkload(name, scale);
-    FuncSimOptions opt;
-    opt.recordTrace = true;
-    tw.funcResult = std::make_unique<FuncSimResult>(
-        runFunctional(tw.workload.prog, opt));
-    if (!tw.funcResult->halted)
-        throw std::runtime_error(name + ": did not halt");
-    tw.trace = std::move(tw.funcResult->trace);
-    return tw;
-}
-
-/** Superscalar baseline run. */
-inline SimResult
-runBaseline(const TracedWorkload &tw)
-{
-    return simulate(MachineConfig::superscalar(), tw.trace, nullptr,
-                    "superscalar");
-}
-
-/** One PolyFlow run under a static policy. */
-inline SimResult
-runPolicy(const TracedWorkload &tw, const SpawnPolicy &policy,
-          const MachineConfig &cfg = MachineConfig{})
-{
-    SpawnAnalysis sa(*tw.workload.module, tw.workload.prog);
-    StaticSpawnSource src(HintTable(sa, policy));
-    return simulate(cfg, tw.trace, &src, policy.name);
+    const char *s = std::getenv("PF_BENCH_SCALE");
+    if (!s)
+        return 1.0;
+    if (auto v = driver::parsePositiveDouble(s))
+        return *v;
+    std::fprintf(stderr,
+                 "PF_BENCH_SCALE: expected a finite positive "
+                 "number, got \"%s\"\n",
+                 s);
+    std::exit(2);
 }
 
 /** Standard bench banner with the machine configuration. */

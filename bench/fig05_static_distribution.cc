@@ -5,6 +5,8 @@
  * per benchmark, with the total number of static spawns on top of
  * each bar. Loop-iteration spawn points are excluded, exactly as in
  * the paper (the figure classifies postdominator spawns only).
+ * Workload builds and spawn analyses run in parallel through the
+ * sweep engine's shared cache; the table prints in workload order.
  */
 
 #include "bench_util.hh"
@@ -13,18 +15,25 @@ using namespace polyflow;
 using namespace polyflow::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 5: static distribution of control-equivalent "
            "task types");
 
+    const std::vector<std::string> &names = allWorkloadNames();
+    const double scale = 0.05;
+
+    driver::SweepRunner runner(driver::jobsFromArgs(argc, argv));
+    runner.parallelFor(names.size(), [&](size_t i) {
+        runner.cache().analysis(names[i], scale);
+    });
+
     Table table({"benchmark", "loopFT%", "procFT%", "hammock%",
                  "other%", "totalStatic"});
 
-    for (const std::string &name : allWorkloadNames()) {
-        Workload w = buildWorkload(name, 0.05);
-        SpawnAnalysis sa(*w.module, w.prog);
-        const SpawnCensus &c = sa.census();
+    for (const std::string &name : names) {
+        auto sa = runner.cache().analysis(name, scale);
+        const SpawnCensus &c = sa->census();
         double total = c.postdomTotal();
         auto pct = [&](SpawnKind k) {
             return total

@@ -4,7 +4,7 @@
  * heuristic spawn policy (loop, loopFT, procFT, hammock, other) and
  * for control-equivalent spawning from all immediate postdominators
  * (postdoms). Superscalar IPCs are reported per benchmark, as in
- * the paper.
+ * the paper. The (workload x policy) grid runs on the sweep engine.
  */
 
 #include "bench_util.hh"
@@ -13,7 +13,7 @@ using namespace polyflow;
 using namespace polyflow::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 9: individual heuristic spawn policies "
            "(speedup % over superscalar)");
@@ -23,21 +23,38 @@ main()
         SpawnPolicy::procFT(),  SpawnPolicy::hammock(),
         SpawnPolicy::other(),   SpawnPolicy::postdoms(),
     };
+    const std::vector<std::string> &names = allWorkloadNames();
+    const double scale = benchScale();
+
+    // One baseline plus one run per policy, per workload.
+    std::vector<driver::SweepCell> cells;
+    for (const std::string &name : names) {
+        cells.push_back({name, scale, driver::SourceSpec::baseline(),
+                         MachineConfig::superscalar(),
+                         "superscalar"});
+        for (const auto &p : policies) {
+            cells.push_back({name, scale,
+                             driver::SourceSpec::statics(p),
+                             MachineConfig{}, p.name});
+        }
+    }
+    driver::SweepRunner runner(driver::jobsFromArgs(argc, argv));
+    const auto results = runner.run(cells);
 
     std::vector<std::string> header = {"benchmark", "ssIPC"};
     for (const auto &p : policies)
         header.push_back(p.name);
     Table table(header);
 
+    const size_t stride = 1 + policies.size();
     std::vector<std::vector<double>> columns(policies.size());
-    for (const std::string &name : allWorkloadNames()) {
-        TracedWorkload tw = traceWorkload(name, benchScale());
-        SimResult base = runBaseline(tw);
+    for (size_t w = 0; w < names.size(); ++w) {
+        const SimResult &base = results[w * stride].sim;
         table.startRow();
-        table.cell(name);
+        table.cell(names[w]);
         table.cell(base.ipc());
         for (size_t i = 0; i < policies.size(); ++i) {
-            SimResult r = runPolicy(tw, policies[i]);
+            const SimResult &r = results[w * stride + 1 + i].sim;
             double s = r.speedupOver(base);
             columns[i].push_back(s);
             table.cell(s, 1);

@@ -3,7 +3,7 @@
  * Figure 10: combinations of heuristics for spawn points. Compares
  * the three widely-used heuristic combinations (loop + loopFT,
  * loopFT + procFT, loop + procFT + loopFT) against spawning from
- * immediate postdominators.
+ * immediate postdominators. The grid runs on the sweep engine.
  */
 
 #include "bench_util.hh"
@@ -12,7 +12,7 @@ using namespace polyflow;
 using namespace polyflow::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 10: heuristic combinations vs postdominators "
            "(speedup % over superscalar)");
@@ -23,20 +23,36 @@ main()
         SpawnPolicy::loopProcFTLoopFT(),
         SpawnPolicy::postdoms(),
     };
+    const std::vector<std::string> &names = allWorkloadNames();
+    const double scale = benchScale();
+
+    std::vector<driver::SweepCell> cells;
+    for (const std::string &name : names) {
+        cells.push_back({name, scale, driver::SourceSpec::baseline(),
+                         MachineConfig::superscalar(),
+                         "superscalar"});
+        for (const auto &p : policies) {
+            cells.push_back({name, scale,
+                             driver::SourceSpec::statics(p),
+                             MachineConfig{}, p.name});
+        }
+    }
+    driver::SweepRunner runner(driver::jobsFromArgs(argc, argv));
+    const auto results = runner.run(cells);
 
     std::vector<std::string> header = {"benchmark"};
     for (const auto &p : policies)
         header.push_back(p.name);
     Table table(header);
 
+    const size_t stride = 1 + policies.size();
     std::vector<std::vector<double>> columns(policies.size());
-    for (const std::string &name : allWorkloadNames()) {
-        TracedWorkload tw = traceWorkload(name, benchScale());
-        SimResult base = runBaseline(tw);
+    for (size_t w = 0; w < names.size(); ++w) {
+        const SimResult &base = results[w * stride].sim;
         table.startRow();
-        table.cell(name);
+        table.cell(names[w]);
         for (size_t i = 0; i < policies.size(); ++i) {
-            SimResult r = runPolicy(tw, policies[i]);
+            const SimResult &r = results[w * stride + 1 + i].sim;
             double s = r.speedupOver(base);
             columns[i].push_back(s);
             table.cell(s, 1);

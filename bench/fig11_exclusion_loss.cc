@@ -4,6 +4,7 @@
  * postdominator set, for policies that exclude one spawn category.
  * Losses are normalized to the superscalar IPC, as in the paper:
  * loss = speedup(postdoms) - speedup(postdoms - category).
+ * The grid runs on the sweep engine.
  */
 
 #include "bench_util.hh"
@@ -12,7 +13,7 @@ using namespace polyflow;
 using namespace polyflow::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 11: loss in % speedup when one postdominator "
            "category is excluded");
@@ -23,23 +24,46 @@ main()
         SpawnKind::Hammock,
         SpawnKind::Other,
     };
+    const std::vector<std::string> &names = allWorkloadNames();
+    const double scale = benchScale();
+
+    // Per workload: baseline, full postdoms, then one exclusion per
+    // category.
+    std::vector<driver::SweepCell> cells;
+    for (const std::string &name : names) {
+        cells.push_back({name, scale, driver::SourceSpec::baseline(),
+                         MachineConfig::superscalar(),
+                         "superscalar"});
+        cells.push_back({name, scale,
+                         driver::SourceSpec::statics(
+                             SpawnPolicy::postdoms()),
+                         MachineConfig{},
+                         SpawnPolicy::postdoms().name});
+        for (SpawnKind k : excluded) {
+            SpawnPolicy p = SpawnPolicy::postdomsMinus(k);
+            cells.push_back({name, scale,
+                             driver::SourceSpec::statics(p),
+                             MachineConfig{}, p.name});
+        }
+    }
+    driver::SweepRunner runner(driver::jobsFromArgs(argc, argv));
+    const auto results = runner.run(cells);
 
     std::vector<std::string> header = {"benchmark"};
     for (SpawnKind k : excluded)
         header.push_back(std::string("-") + spawnKindName(k));
     Table table(header);
 
+    const size_t stride = 2 + excluded.size();
     std::vector<std::vector<double>> columns(excluded.size());
-    for (const std::string &name : allWorkloadNames()) {
-        TracedWorkload tw = traceWorkload(name, benchScale());
-        SimResult base = runBaseline(tw);
-        SimResult full = runPolicy(tw, SpawnPolicy::postdoms());
+    for (size_t w = 0; w < names.size(); ++w) {
+        const SimResult &base = results[w * stride].sim;
+        const SimResult &full = results[w * stride + 1].sim;
         double fullSpeedup = full.speedupOver(base);
         table.startRow();
-        table.cell(name);
+        table.cell(names[w]);
         for (size_t i = 0; i < excluded.size(); ++i) {
-            SimResult r = runPolicy(
-                tw, SpawnPolicy::postdomsMinus(excluded[i]));
+            const SimResult &r = results[w * stride + 2 + i].sim;
             double loss = fullSpeedup - r.speedupOver(base);
             columns[i].push_back(loss);
             table.cell(loss, 1);

@@ -4,7 +4,9 @@
  * (rec_pred) versus compiler-generated immediate postdominators.
  * The predictor trains on the retirement stream during the run, so
  * warm-up effects are modelled. Also reports how well the trained
- * predictor matches the static immediate postdominators.
+ * predictor matches the static immediate postdominators. The grid
+ * runs on the sweep engine; the trained predictor of each cell stays
+ * inspectable through its CellResult.
  */
 
 #include "analysis/cfg_view.hh"
@@ -41,30 +43,50 @@ staticIpdoms(const Workload &w)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 12: reconvergence-predictor spawning vs "
            "compiler postdominators (speedup %)");
+
+    const std::vector<std::string> &names = allWorkloadNames();
+    const double scale = benchScale();
+
+    std::vector<driver::SweepCell> cells;
+    for (const std::string &name : names) {
+        cells.push_back({name, scale, driver::SourceSpec::baseline(),
+                         MachineConfig::superscalar(),
+                         "superscalar"});
+        cells.push_back({name, scale, driver::SourceSpec::recon(),
+                         MachineConfig{}, "rec_pred"});
+        cells.push_back({name, scale,
+                         driver::SourceSpec::statics(
+                             SpawnPolicy::postdoms()),
+                         MachineConfig{},
+                         SpawnPolicy::postdoms().name});
+    }
+    driver::SweepRunner runner(driver::jobsFromArgs(argc, argv));
+    const auto results = runner.run(cells);
 
     Table table({"benchmark", "rec_pred", "postdoms", "predMatch%",
                  "predCover%"});
     std::vector<double> recCol, pdCol;
 
-    for (const std::string &name : allWorkloadNames()) {
-        TracedWorkload tw = traceWorkload(name, benchScale());
-        SimResult base = runBaseline(tw);
-
-        ReconSpawnSource rec;
-        SimResult rr =
-            simulate(MachineConfig{}, tw.trace, &rec, "rec_pred");
-        SimResult pd = runPolicy(tw, SpawnPolicy::postdoms());
+    const size_t stride = 3;
+    for (size_t w = 0; w < names.size(); ++w) {
+        const SimResult &base = results[w * stride].sim;
+        const driver::CellResult &recCell =
+            results[w * stride + 1];
+        const SimResult &pd = results[w * stride + 2].sim;
 
         // Predictor fidelity vs static analysis, over the branches
         // it saw.
-        auto ipdoms = staticIpdoms(tw.workload);
+        auto rec = std::dynamic_pointer_cast<ReconSpawnSource>(
+            recCell.source);
+        auto ipdoms = staticIpdoms(
+            *runner.cache().workload(names[w], scale));
         int match = 0, predicted = 0;
         for (auto [pc, target] :
-             rec.predictor().confidentPredictions()) {
+             rec->predictor().confidentPredictions()) {
             auto it = ipdoms.find(pc);
             if (it == ipdoms.end())
                 continue;
@@ -72,13 +94,13 @@ main()
             if (it->second == target)
                 ++match;
         }
-        double rs = rr.speedupOver(base);
+        double rs = recCell.sim.speedupOver(base);
         double ps = pd.speedupOver(base);
         recCol.push_back(rs);
         pdCol.push_back(ps);
 
         table.startRow();
-        table.cell(name);
+        table.cell(names[w]);
         table.cell(rs, 1);
         table.cell(ps, 1);
         table.cell(predicted ? 100.0 * match / predicted : 0.0, 1);

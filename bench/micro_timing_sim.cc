@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Timing-simulator throughput microbenchmark: simulated committed
+ * instructions per second of wall-clock, for the superscalar
+ * baseline and the postdoms PolyFlow configuration, on three
+ * workloads of different character. Run it before and after touching
+ * TimingSim hot paths (taskOf/taskPosOf, the store-consumer index,
+ * AddrIndex); the aggregate number is appended-free-rewritten to
+ * results/micro_timing_sim.txt so regressions are visible in review.
+ */
+
+#include <filesystem>
+#include <fstream>
+
+#include "bench_util.hh"
+
+using namespace polyflow;
+using namespace polyflow::bench;
+
+int
+main(int argc, char **argv)
+{
+    banner("Micro: timing-simulator throughput "
+           "(simulated instrs/sec)");
+
+    const std::vector<std::string> workloads = {"twolf", "mcf",
+                                                "gcc"};
+    const double scale = benchScale();
+    const int reps = 3;  //!< best-of to damp scheduler noise
+
+    // Grid: reps identical runs per (workload, config); the cache
+    // guarantees each workload still traces once.
+    std::vector<driver::SweepCell> cells;
+    for (const std::string &wl : workloads) {
+        for (int r = 0; r < reps; ++r) {
+            cells.push_back({wl, scale,
+                             driver::SourceSpec::baseline(),
+                             MachineConfig::superscalar(),
+                             "superscalar"});
+        }
+        for (int r = 0; r < reps; ++r) {
+            cells.push_back({wl, scale,
+                             driver::SourceSpec::statics(
+                                 SpawnPolicy::postdoms()),
+                             MachineConfig{},
+                             SpawnPolicy::postdoms().name});
+        }
+    }
+    // Throughput numbers are only comparable when cells run alone:
+    // force one job regardless of PF_BENCH_JOBS.
+    (void)argc;
+    (void)argv;
+    driver::SweepRunner runner(1);
+    const auto results = runner.run(cells);
+
+    Table t({"workload", "config", "instrs", "best s",
+             "instrs/sec"});
+    double sumRate = 0;
+    int rows = 0;
+    size_t idx = 0;
+    for (const std::string &wl : workloads) {
+        for (const char *cfg : {"superscalar", "postdoms"}) {
+            double best = results[idx].wallSeconds;
+            std::uint64_t instrs = results[idx].sim.instrs;
+            for (int r = 0; r < reps; ++r, ++idx)
+                best = std::min(best, results[idx].wallSeconds);
+            double rate = best > 0 ? double(instrs) / best : 0.0;
+            sumRate += rate;
+            ++rows;
+            t.startRow();
+            t.cell(wl);
+            t.cell(std::string(cfg));
+            t.cell((long long)instrs);
+            t.cell(best, 4);
+            t.cell(rate, 0);
+        }
+    }
+    t.print(std::cout);
+
+    double meanRate = rows ? sumRate / rows : 0.0;
+    std::cout << "\nmean timing-sim throughput: " << meanRate
+              << " simulated instrs/sec\n";
+
+    std::filesystem::create_directories("results");
+    std::ofstream out("results/micro_timing_sim.txt");
+    out << "mean_simulated_instrs_per_sec " << meanRate << "\n";
+    return 0;
+}

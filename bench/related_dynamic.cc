@@ -5,6 +5,7 @@
  * fall-throughs) vs the reconvergence-predictor spawning of Section
  * 4.4 vs compiler postdominators. The paper claims its static and
  * dynamic techniques capture more spawn opportunities than DMT.
+ * The grid runs on the sweep engine.
  */
 
 #include "bench_util.hh"
@@ -13,31 +14,43 @@ using namespace polyflow;
 using namespace polyflow::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Related work: DMT heuristics vs rec_pred vs postdoms "
            "(speedup % over superscalar)");
 
+    const std::vector<std::string> &names = allWorkloadNames();
+    const double scale = benchScale();
+
+    std::vector<driver::SweepCell> cells;
+    for (const std::string &name : names) {
+        cells.push_back({name, scale, driver::SourceSpec::baseline(),
+                         MachineConfig::superscalar(),
+                         "superscalar"});
+        cells.push_back({name, scale, driver::SourceSpec::dmt(),
+                         MachineConfig{}, "dmt"});
+        cells.push_back({name, scale, driver::SourceSpec::recon(),
+                         MachineConfig{}, "rec_pred"});
+        cells.push_back({name, scale,
+                         driver::SourceSpec::statics(
+                             SpawnPolicy::postdoms()),
+                         MachineConfig{},
+                         SpawnPolicy::postdoms().name});
+    }
+    driver::SweepRunner runner(driver::jobsFromArgs(argc, argv));
+    const auto results = runner.run(cells);
+
     Table t({"benchmark", "DMT", "rec_pred", "postdoms"});
     std::vector<double> dmtCol, recCol, pdCol;
 
-    for (const std::string &name : allWorkloadNames()) {
-        TracedWorkload tw = traceWorkload(name, benchScale());
-        SimResult base = runBaseline(tw);
-
-        DmtSpawnSource dmt;
-        SimResult rDmt =
-            simulate(MachineConfig{}, tw.trace, &dmt, "dmt");
-        ReconSpawnSource rec;
-        SimResult rRec =
-            simulate(MachineConfig{}, tw.trace, &rec, "rec_pred");
-        SimResult rPd = runPolicy(tw, SpawnPolicy::postdoms());
-
+    const size_t stride = 4;
+    for (size_t w = 0; w < names.size(); ++w) {
+        const SimResult &base = results[w * stride].sim;
         t.startRow();
-        t.cell(name);
-        double d = rDmt.speedupOver(base);
-        double r = rRec.speedupOver(base);
-        double p = rPd.speedupOver(base);
+        t.cell(names[w]);
+        double d = results[w * stride + 1].sim.speedupOver(base);
+        double r = results[w * stride + 2].sim.speedupOver(base);
+        double p = results[w * stride + 3].sim.speedupOver(base);
         dmtCol.push_back(d);
         recCol.push_back(r);
         pdCol.push_back(p);

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Smoke check: the tier-1 verify flow plus one sweep-engine bench at
+# a tenth of the default workload scale. Catches build breaks, test
+# regressions and bench-harness crashes in a couple of minutes.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+# One bench through the sweep engine; table goes to stdout, timing
+# to stderr, CSV into the build tree.
+(cd build/bench && PF_BENCH_SCALE=0.1 ./fig09_individual_heuristics)
+
+echo "smoke: OK"

@@ -1,0 +1,313 @@
+#include "driver/sweep.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <stdexcept>
+#include <thread>
+
+#include "isa/functional_sim.hh"
+
+namespace polyflow::driver {
+
+namespace {
+
+/** Cache key for a (name, scale) pair; exact round-trip of the
+ *  double so distinct scales never collide. */
+std::string
+scaleKey(const std::string &name, double scale)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", scale);
+    return name + "@" + buf;
+}
+
+} // namespace
+
+std::shared_ptr<const Workload>
+SweepCache::workload(const std::string &name, double scale)
+{
+    return _workloads.getOrBuild(scaleKey(name, scale), [&] {
+        ++_workloadsBuilt;
+        return std::make_shared<const Workload>(
+            buildWorkload(name, scale));
+    });
+}
+
+std::shared_ptr<const TracedWorkload>
+SweepCache::traced(const std::string &name, double scale)
+{
+    return _traced.getOrBuild(scaleKey(name, scale), [&] {
+        // The trace stores a pointer into the workload's linked
+        // program, so trace only the cached (address-stable) copy.
+        std::shared_ptr<const Workload> w = workload(name, scale);
+        FuncSimOptions opt;
+        opt.recordTrace = true;
+        FuncSimResult r = runFunctional(w->prog, opt);
+        if (!r.halted)
+            throw std::runtime_error(name + ": did not halt");
+        ++_tracesBuilt;
+        auto tw = std::make_shared<TracedWorkload>();
+        tw->workload = std::move(w);
+        tw->trace = std::move(r.trace);
+        return std::shared_ptr<const TracedWorkload>(std::move(tw));
+    });
+}
+
+std::shared_ptr<const TraceIndex>
+SweepCache::traceIndex(const std::string &name, double scale)
+{
+    return _indexes.getOrBuild(scaleKey(name, scale), [&] {
+        auto tw = traced(name, scale);
+        auto idx = std::make_shared<const TraceIndex>(tw->trace);
+        return idx;
+    });
+}
+
+std::shared_ptr<const SpawnAnalysis>
+SweepCache::analysis(const std::string &name, double scale)
+{
+    return _analyses.getOrBuild(scaleKey(name, scale), [&] {
+        auto w = workload(name, scale);
+        ++_analysesBuilt;
+        return std::make_shared<const SpawnAnalysis>(*w->module,
+                                                     w->prog);
+    });
+}
+
+std::shared_ptr<const HintTable>
+SweepCache::hints(const std::string &name, double scale,
+                  const SpawnPolicy &policy)
+{
+    std::string key = scaleKey(name, scale) + "#" +
+        std::to_string(policy.kindMask);
+    return _hints.getOrBuild(key, [&] {
+        auto sa = analysis(name, scale);
+        ++_hintTablesBuilt;
+        return std::make_shared<const HintTable>(*sa, policy);
+    });
+}
+
+namespace {
+
+/** Spawn source over a cache-shared hint table (StaticSpawnSource
+ *  owns its table; this one only borrows). Query is read-only, so
+ *  one table serves any number of concurrent simulations. */
+class SharedHintSource final : public SpawnSource
+{
+  public:
+    explicit SharedHintSource(std::shared_ptr<const HintTable> table)
+        : _table(std::move(table))
+    {}
+
+    std::optional<SpawnHint>
+    query(const LinkedInstr &li) override
+    {
+        const SpawnPoint *p = _table->lookup(li.addr);
+        if (!p)
+            return std::nullopt;
+        return SpawnHint{p->targetPc, p->kind, p->depMask};
+    }
+
+    void onCommit(const LinkedInstr &, bool) override {}
+
+  private:
+    std::shared_ptr<const HintTable> _table;
+};
+
+} // namespace
+
+SweepRunner::SweepRunner(int jobs)
+    : _jobs(jobs > 0 ? jobs : defaultJobs())
+{}
+
+CellResult
+SweepRunner::runCell(const SweepCell &cell)
+{
+    auto tw = _cache.traced(cell.workload, cell.scale);
+
+    CellResult out;
+    std::shared_ptr<const TraceIndex> index;
+    switch (cell.source.kind) {
+      case SourceSpec::Kind::Baseline:
+        break;
+      case SourceSpec::Kind::Static:
+        out.source = std::make_shared<SharedHintSource>(
+            _cache.hints(cell.workload, cell.scale,
+                         cell.source.policy));
+        index = _cache.traceIndex(cell.workload, cell.scale);
+        break;
+      case SourceSpec::Kind::Recon:
+        out.source = std::make_shared<ReconSpawnSource>();
+        index = _cache.traceIndex(cell.workload, cell.scale);
+        break;
+      case SourceSpec::Kind::Dmt:
+        out.source = std::make_shared<DmtSpawnSource>();
+        index = _cache.traceIndex(cell.workload, cell.scale);
+        break;
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    out.sim = simulate(cell.config, tw->trace, out.source.get(),
+                       cell.label, index.get());
+    out.wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    return out;
+}
+
+void
+SweepRunner::parallelFor(size_t n,
+                         const std::function<void(size_t)> &fn)
+{
+    size_t workers =
+        std::min<size_t>(static_cast<size_t>(_jobs), n);
+    if (workers <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    std::mutex errMutex;
+    size_t errIndex = n;
+    std::exception_ptr error;
+
+    auto worker = [&] {
+        for (;;) {
+            size_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errMutex);
+                if (i < errIndex) {
+                    errIndex = i;
+                    error = std::current_exception();
+                }
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+std::vector<CellResult>
+SweepRunner::run(const std::vector<SweepCell> &cells, bool report)
+{
+    std::vector<CellResult> results(cells.size());
+    auto t0 = std::chrono::steady_clock::now();
+    parallelFor(cells.size(),
+                [&](size_t i) { results[i] = runCell(cells[i]); });
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+    if (report) {
+        std::uint64_t instrs = 0;
+        double cellSeconds = 0;
+        for (size_t i = 0; i < cells.size(); ++i) {
+            instrs += results[i].sim.instrs;
+            cellSeconds += results[i].wallSeconds;
+            std::fprintf(stderr,
+                         "[sweep] %3zu/%zu %-10s %-24s %8.3fs "
+                         "%10llu instrs\n",
+                         i + 1, cells.size(),
+                         cells[i].workload.c_str(),
+                         cells[i].label.c_str(),
+                         results[i].wallSeconds,
+                         static_cast<unsigned long long>(
+                             results[i].sim.instrs));
+        }
+        std::fprintf(stderr,
+                     "[sweep] %zu cells on %d job(s): %.3fs wall "
+                     "(%.3fs in cells), %.0f simulated instrs/sec\n",
+                     cells.size(), _jobs, wall, cellSeconds,
+                     wall > 0 ? double(instrs) / wall : 0.0);
+    }
+    return results;
+}
+
+int
+defaultJobs()
+{
+    if (const char *env = std::getenv("PF_BENCH_JOBS")) {
+        char *end = nullptr;
+        errno = 0;
+        long v = std::strtol(env, &end, 10);
+        if (errno != 0 || end == env || *end != '\0' || v < 1 ||
+            v > 4096) {
+            std::fprintf(stderr,
+                         "PF_BENCH_JOBS: expected a positive "
+                         "integer, got \"%s\"\n",
+                         env);
+            std::exit(2);
+        }
+        return static_cast<int>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int
+jobsFromArgs(int argc, char **argv)
+{
+    auto parse = [](const char *text) {
+        char *end = nullptr;
+        errno = 0;
+        long v = std::strtol(text, &end, 10);
+        if (errno != 0 || end == text || *end != '\0' || v < 1 ||
+            v > 4096) {
+            std::fprintf(stderr,
+                         "--jobs: expected a positive integer, got "
+                         "\"%s\"\n",
+                         text);
+            std::exit(2);
+        }
+        return static_cast<int>(v);
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--jobs") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--jobs: missing value\n");
+                std::exit(2);
+            }
+            return parse(argv[i + 1]);
+        }
+        if (std::strncmp(arg, "--jobs=", 7) == 0)
+            return parse(arg + 7);
+    }
+    return defaultJobs();
+}
+
+std::optional<double>
+parsePositiveDouble(const char *text)
+{
+    if (!text || *text == '\0')
+        return std::nullopt;
+    char *end = nullptr;
+    errno = 0;
+    double v = std::strtod(text, &end);
+    if (errno != 0 || end == text || *end != '\0' ||
+        !std::isfinite(v) || v <= 0.0) {
+        return std::nullopt;
+    }
+    return v;
+}
+
+} // namespace polyflow::driver

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * The parallel sweep engine behind the figure-regeneration benches.
+ *
+ * Every figure is a grid of independent (workload x spawn-source x
+ * machine-config) timing simulations over shared read-only inputs:
+ * the committed trace, the compiler spawn analysis and the per-policy
+ * hint table. SweepRunner executes the grid on a thread pool
+ * (PF_BENCH_JOBS / --jobs, default hardware_concurrency) while
+ * SweepCache builds each shared input exactly once per key and hands
+ * out immutable shared_ptrs. Results come back in declaration order,
+ * so tables and CSVs are bit-identical to a serial run regardless of
+ * the job count; wall-clock and throughput reporting goes to stderr
+ * only.
+ */
+
+#ifndef POLYFLOW_DRIVER_SWEEP_HH
+#define POLYFLOW_DRIVER_SWEEP_HH
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/core.hh"
+#include "sim/trace_index.hh"
+#include "spawn/policy.hh"
+#include "spawn/spawn_analysis.hh"
+#include "workloads/workloads.hh"
+
+namespace polyflow::driver {
+
+/** A workload traced once and shared read-only across runs. */
+struct TracedWorkload
+{
+    /** Keeps the LinkedProgram the trace points into alive. */
+    std::shared_ptr<const Workload> workload;
+    Trace trace;
+};
+
+/**
+ * Keyed build-once caches for everything timing runs share. All
+ * getters are thread-safe: concurrent requests for the same key
+ * block until the single build finishes; requests for different keys
+ * build in parallel.
+ */
+class SweepCache
+{
+  public:
+    /** Workload module + linked program, built once per
+     *  (name, scale). */
+    std::shared_ptr<const Workload> workload(const std::string &name,
+                                             double scale);
+
+    /** Committed trace, one functional run per (name, scale). */
+    std::shared_ptr<const TracedWorkload>
+    traced(const std::string &name, double scale);
+
+    /** Spawn-target / store-consumer indexes over the cached
+     *  trace. */
+    std::shared_ptr<const TraceIndex>
+    traceIndex(const std::string &name, double scale);
+
+    /** Whole-module spawn analysis, once per (name, scale). */
+    std::shared_ptr<const SpawnAnalysis>
+    analysis(const std::string &name, double scale);
+
+    /** Hint table, once per (name, scale, policy kind mask). */
+    std::shared_ptr<const HintTable>
+    hints(const std::string &name, double scale,
+          const SpawnPolicy &policy);
+
+    /** @name Build counters (cache-behavior tests, reporting) @{ */
+    int workloadsBuilt() const { return _workloadsBuilt.load(); }
+    int tracesBuilt() const { return _tracesBuilt.load(); }
+    int analysesBuilt() const { return _analysesBuilt.load(); }
+    int hintTablesBuilt() const { return _hintTablesBuilt.load(); }
+    /** @} */
+
+  private:
+    template <typename V>
+    class KeyedStore
+    {
+      public:
+        /** Return the value for @p key, running @p build exactly
+         *  once per key (even under concurrency). */
+        std::shared_ptr<const V>
+        getOrBuild(const std::string &key,
+                   const std::function<std::shared_ptr<const V>()>
+                       &build)
+        {
+            std::shared_ptr<Slot> slot;
+            {
+                std::lock_guard<std::mutex> lock(_mutex);
+                auto &s = _slots[key];
+                if (!s)
+                    s = std::make_shared<Slot>();
+                slot = s;
+            }
+            std::call_once(slot->once,
+                           [&] { slot->value = build(); });
+            return slot->value;
+        }
+
+      private:
+        struct Slot
+        {
+            std::once_flag once;
+            std::shared_ptr<const V> value;
+        };
+        std::mutex _mutex;
+        std::map<std::string, std::shared_ptr<Slot>> _slots;
+    };
+
+    KeyedStore<Workload> _workloads;
+    KeyedStore<TracedWorkload> _traced;
+    KeyedStore<TraceIndex> _indexes;
+    KeyedStore<SpawnAnalysis> _analyses;
+    KeyedStore<HintTable> _hints;
+
+    std::atomic<int> _workloadsBuilt{0};
+    std::atomic<int> _tracesBuilt{0};
+    std::atomic<int> _analysesBuilt{0};
+    std::atomic<int> _hintTablesBuilt{0};
+};
+
+/** How one sweep cell obtains spawn targets. */
+struct SourceSpec
+{
+    enum class Kind {
+        Baseline,  //!< no spawning (superscalar reference)
+        Static,    //!< compiler hint table under @c policy
+        Recon,     //!< reconvergence-predictor source (trains)
+        Dmt,       //!< DMT-style dynamic heuristics
+    };
+
+    Kind kind = Kind::Baseline;
+    SpawnPolicy policy{};  //!< for Kind::Static only
+
+    static SourceSpec
+    baseline()
+    {
+        return {};
+    }
+    static SourceSpec
+    statics(SpawnPolicy p)
+    {
+        SourceSpec s;
+        s.kind = Kind::Static;
+        s.policy = std::move(p);
+        return s;
+    }
+    static SourceSpec
+    recon()
+    {
+        SourceSpec s;
+        s.kind = Kind::Recon;
+        return s;
+    }
+    static SourceSpec
+    dmt()
+    {
+        SourceSpec s;
+        s.kind = Kind::Dmt;
+        return s;
+    }
+};
+
+/** One independent timing simulation in a sweep grid. */
+struct SweepCell
+{
+    std::string workload;
+    double scale = 1.0;
+    SourceSpec source;
+    MachineConfig config{};
+    /** Reported as SimResult::policyName. */
+    std::string label;
+};
+
+/** Outcome of one cell. */
+struct CellResult
+{
+    SimResult sim;
+    double wallSeconds = 0.0;
+    /** The cell's spawn source; dynamic sources stay inspectable
+     *  after training (e.g. the reconvergence predictor). Null for
+     *  baseline cells. */
+    std::shared_ptr<SpawnSource> source;
+};
+
+/**
+ * Thread-pool executor for sweep grids. Cells run concurrently but
+ * results are returned in cell order, so downstream printing is
+ * deterministic.
+ */
+class SweepRunner
+{
+  public:
+    /** @param jobs worker count; <= 0 selects defaultJobs(). */
+    explicit SweepRunner(int jobs = 0);
+
+    int jobs() const { return _jobs; }
+    SweepCache &cache() { return _cache; }
+
+    /**
+     * Execute every cell and return results in cell order. When
+     * @p report is true, prints per-cell wall-clock and aggregate
+     * simulated-instruction throughput to stderr (never stdout, so
+     * table output stays byte-identical across job counts).
+     */
+    std::vector<CellResult> run(const std::vector<SweepCell> &cells,
+                                bool report = true);
+
+    /**
+     * Generic parallel loop over [0, n) on the runner's pool; used
+     * by analysis-only benches to warm the cache. Exceptions from
+     * @p fn are rethrown (lowest index wins).
+     */
+    void parallelFor(size_t n,
+                     const std::function<void(size_t)> &fn);
+
+  private:
+    CellResult runCell(const SweepCell &cell);
+
+    int _jobs;
+    SweepCache _cache;
+};
+
+/**
+ * Worker count from the environment: PF_BENCH_JOBS if set (must be a
+ * positive integer), else std::thread::hardware_concurrency().
+ */
+int defaultJobs();
+
+/**
+ * Worker count from the command line: `--jobs N` or `--jobs=N`
+ * overrides defaultJobs(). Exits with a clear error on malformed
+ * values.
+ */
+int jobsFromArgs(int argc, char **argv);
+
+/**
+ * Strict positive-double parser for environment knobs: the full
+ * string must parse and the value must be finite and > 0, else
+ * nullopt. (std::atof would silently return 0.)
+ */
+std::optional<double> parsePositiveDouble(const char *text);
+
+} // namespace polyflow::driver
+
+#endif // POLYFLOW_DRIVER_SWEEP_HH

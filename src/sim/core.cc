@@ -7,7 +7,8 @@
 namespace polyflow {
 
 TimingSim::TimingSim(const MachineConfig &config, const Trace &trace,
-                     SpawnSource *source)
+                     SpawnSource *source,
+                     const TraceIndex *sharedIndex)
     : _cfg(config), _trace(&trace), _source(source), _hier(config),
       _gshare(config)
 {
@@ -16,14 +17,11 @@ TimingSim::TimingSim(const MachineConfig &config, const Trace &trace,
     _state.resize(trace.size());
 
     if (_source) {
-        _addrIndex = std::make_unique<AddrIndex>(trace);
-        // Reverse index: which loads name each store as producer.
-        for (TraceIdx i = 0; i < trace.size(); ++i) {
-            const DynInstr &d = trace.instrs[i];
-            if (d.memProd != invalidTrace &&
-                staticOf(i).instr.isLoad()) {
-                _storeConsumers[d.memProd].push_back(i);
-            }
+        if (sharedIndex) {
+            _index = sharedIndex;
+        } else {
+            _ownedIndex = std::make_unique<TraceIndex>(trace);
+            _index = _ownedIndex.get();
         }
     }
 
@@ -40,19 +38,28 @@ TimingSim::TimingSim(const MachineConfig &config, const Trace &trace,
 TimingSim::Task *
 TimingSim::taskOf(TraceIdx i)
 {
-    for (Task &t : _tasks) {
-        if (i >= t.begin && i < t.end)
-            return &t;
-    }
-    return nullptr;
+    // Tasks carve disjoint ranges out of the trace and stay sorted
+    // by begin (spawns only split a task's own tail), so the owner
+    // is the last task starting at or before i.
+    auto it = std::upper_bound(
+        _tasks.begin(), _tasks.end(), i,
+        [](TraceIdx v, const Task &t) { return v < t.begin; });
+    if (it == _tasks.begin())
+        return nullptr;
+    --it;
+    return i < it->end ? &*it : nullptr;
 }
 
 size_t
 TimingSim::taskPosOf(TraceIdx i) const
 {
-    for (size_t p = 0; p < _tasks.size(); ++p) {
-        if (i >= _tasks[p].begin && i < _tasks[p].end)
-            return p;
+    auto it = std::upper_bound(
+        _tasks.begin(), _tasks.end(), i,
+        [](TraceIdx v, const Task &t) { return v < t.begin; });
+    if (it != _tasks.begin()) {
+        --it;
+        if (i < it->end)
+            return static_cast<size_t>(it - _tasks.begin());
     }
     throw std::runtime_error("taskPosOf: index not in any task");
 }
@@ -324,10 +331,9 @@ TimingSim::issuePhase()
             s.completeCycle = _now + 1;
             // A store executing after dependent cross-task loads
             // have already issued is a dependence violation.
-            auto sc = _storeConsumers.find(i);
-            if (sc != _storeConsumers.end()) {
+            if (_index) {
                 Task *st = taskOf(i);
-                for (TraceIdx l : sc->second) {
+                for (TraceIdx l : _index->consumersOf(i)) {
                     if (_state[l].stage == Stage::Issued &&
                         (!st || l >= st->end)) {
                         _pendingViolations.push_back({l, i});
@@ -421,7 +427,7 @@ TimingSim::maybeSpawn(Task &t, TraceIdx i, const LinkedInstr &li)
         ++_res.spawnsSkippedFeedback;
         return;
     }
-    TraceIdx j = _addrIndex->nextOccurrence(hint->targetPc, i);
+    TraceIdx j = _index->addrIndex().nextOccurrence(hint->targetPc, i);
     if (j == invalidTrace || j >= t.end)
         return;
     std::uint32_t dist = j - i;
@@ -736,9 +742,10 @@ TimingSim::run(const std::string &policyName)
 
 SimResult
 simulate(const MachineConfig &config, const Trace &trace,
-         SpawnSource *source, const std::string &name)
+         SpawnSource *source, const std::string &name,
+         const TraceIndex *sharedIndex)
 {
-    TimingSim sim(config, trace, source);
+    TimingSim sim(config, trace, source, sharedIndex);
     return sim.run(name);
 }
 

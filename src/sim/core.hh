@@ -28,13 +28,13 @@
 #include <vector>
 
 #include "isa/trace.hh"
-#include "sim/addr_index.hh"
 #include "sim/branch_pred.hh"
 #include "sim/cache.hh"
 #include "sim/config.hh"
 #include "sim/result.hh"
 #include "sim/spawn_source.hh"
 #include "sim/store_sets.hh"
+#include "sim/trace_index.hh"
 
 namespace polyflow {
 
@@ -50,9 +50,14 @@ class TimingSim
      * @param trace committed dynamic trace from the functional sim
      * @param source spawn source, or nullptr for the superscalar
      *               baseline (no spawning)
+     * @param sharedIndex precomputed indexes over @p trace, shared
+     *               read-only across simulations (the sweep engine
+     *               passes these); nullptr builds private ones when
+     *               spawning is enabled
      */
     TimingSim(const MachineConfig &config, const Trace &trace,
-              SpawnSource *source);
+              SpawnSource *source,
+              const TraceIndex *sharedIndex = nullptr);
 
     /** Simulate to completion and return the statistics. */
     SimResult run(const std::string &policyName);
@@ -169,10 +174,10 @@ class TimingSim
     IndirectPredictor _indirect;
     StoreSetPredictor _storeSets;
     RegDepPredictor _regPred;
-    std::unique_ptr<AddrIndex> _addrIndex;
-    /** loads indexed by the store they depend on (for violations). */
-    std::unordered_map<TraceIdx, std::vector<TraceIdx>>
-        _storeConsumers;
+    /** Per-trace indexes (spawn targets, store->consumer loads);
+     *  either shared by the caller or privately owned. */
+    const TraceIndex *_index = nullptr;
+    std::unique_ptr<TraceIndex> _ownedIndex;
 
     /** Spawn-profitability feedback (paper: "dynamic feedback about
      *  which tasks are profitable"). */
@@ -211,10 +216,11 @@ class TimingSim
 
 /**
  * Convenience wrapper: run @p trace on @p config with an optional
- * spawn source.
+ * spawn source. @p sharedIndex, when given, must index @p trace.
  */
 SimResult simulate(const MachineConfig &config, const Trace &trace,
-                   SpawnSource *source, const std::string &name);
+                   SpawnSource *source, const std::string &name,
+                   const TraceIndex *sharedIndex = nullptr);
 
 } // namespace polyflow
 

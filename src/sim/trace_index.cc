@@ -1,0 +1,34 @@
+#include "sim/trace_index.hh"
+
+namespace polyflow {
+
+TraceIndex::TraceIndex(const Trace &trace) : _addr(trace)
+{
+    const TraceIdx n = static_cast<TraceIdx>(trace.size());
+    _consumerOffsets.assign(size_t(n) + 1, 0);
+
+    // Counting sort by producing store: count, prefix-sum, fill.
+    // Filling in ascending load order keeps each store's consumer
+    // list sorted by trace index.
+    for (TraceIdx i = 0; i < n; ++i) {
+        const DynInstr &d = trace.instrs[i];
+        if (d.memProd != invalidTrace &&
+            trace.staticOf(i).instr.isLoad()) {
+            ++_consumerOffsets[d.memProd + 1];
+        }
+    }
+    for (TraceIdx i = 0; i < n; ++i)
+        _consumerOffsets[i + 1] += _consumerOffsets[i];
+    _consumers.resize(_consumerOffsets[n]);
+    std::vector<std::uint32_t> fill(_consumerOffsets.begin(),
+                                    _consumerOffsets.end() - 1);
+    for (TraceIdx i = 0; i < n; ++i) {
+        const DynInstr &d = trace.instrs[i];
+        if (d.memProd != invalidTrace &&
+            trace.staticOf(i).instr.isLoad()) {
+            _consumers[fill[d.memProd]++] = i;
+        }
+    }
+}
+
+} // namespace polyflow

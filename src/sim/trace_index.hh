@@ -1,0 +1,68 @@
+/**
+ * @file
+ * TraceIndex: immutable per-trace lookup structures the timing
+ * simulator needs when spawning is enabled. Building them costs one
+ * pass over the trace, so the sweep engine computes them once per
+ * (workload, scale) and shares them read-only across every
+ * concurrent TimingSim on that trace.
+ */
+
+#ifndef POLYFLOW_SIM_TRACE_INDEX_HH
+#define POLYFLOW_SIM_TRACE_INDEX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/trace.hh"
+#include "sim/addr_index.hh"
+
+namespace polyflow {
+
+/**
+ * Read-only indexes over one committed trace:
+ *
+ *  - the per-PC occurrence lists the Task Spawn Unit queries
+ *    (AddrIndex), and
+ *  - a flat CSR mapping each store to the loads that name it as
+ *    memory producer, replacing the old per-sim
+ *    unordered_map<TraceIdx, vector<TraceIdx>> with two contiguous
+ *    arrays indexed directly by trace position.
+ *
+ * Consumers of a store i live in
+ * consumers[consumerOffsets[i] .. consumerOffsets[i + 1]), in
+ * ascending trace order.
+ */
+class TraceIndex
+{
+  public:
+    explicit TraceIndex(const Trace &trace);
+
+    const AddrIndex &addrIndex() const { return _addr; }
+
+    /** Loads depending on store @p i (empty span for non-stores). */
+    struct ConsumerSpan
+    {
+        const TraceIdx *first;
+        const TraceIdx *last;
+        const TraceIdx *begin() const { return first; }
+        const TraceIdx *end() const { return last; }
+        bool empty() const { return first == last; }
+    };
+
+    ConsumerSpan
+    consumersOf(TraceIdx store) const
+    {
+        const TraceIdx *base = _consumers.data();
+        return {base + _consumerOffsets[store],
+                base + _consumerOffsets[store + 1]};
+    }
+
+  private:
+    AddrIndex _addr;
+    std::vector<std::uint32_t> _consumerOffsets;  //!< size()+1
+    std::vector<TraceIdx> _consumers;
+};
+
+} // namespace polyflow
+
+#endif // POLYFLOW_SIM_TRACE_INDEX_HH

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine: a multi-threaded sweep must
+ * reproduce the serial reference results cell for cell, the shared
+ * cache must trace/analyze each workload exactly once, shared trace
+ * indexes must not change simulation outcomes, and the environment
+ * knob parsers must reject garbage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "driver/sweep.hh"
+#include "isa/functional_sim.hh"
+#include "sim/core.hh"
+#include "spawn/policy.hh"
+#include "spawn/spawn_analysis.hh"
+#include "workloads/workloads.hh"
+
+namespace polyflow {
+namespace {
+
+constexpr double kScale = 0.05;
+
+const std::vector<std::string> &
+testWorkloads()
+{
+    static const std::vector<std::string> names = {"twolf", "mcf"};
+    return names;
+}
+
+std::vector<SpawnPolicy>
+testPolicies()
+{
+    return {SpawnPolicy::loop(), SpawnPolicy::procFT(),
+            SpawnPolicy::postdoms()};
+}
+
+/** The pre-sweep-engine serial reference: trace, analyze and
+ *  simulate each cell in a plain loop, sharing nothing. */
+std::vector<SimResult>
+serialReference()
+{
+    std::vector<SimResult> out;
+    for (const std::string &name : testWorkloads()) {
+        Workload w = buildWorkload(name, kScale);
+        FuncSimOptions opt;
+        opt.recordTrace = true;
+        FuncSimResult fr = runFunctional(w.prog, opt);
+        EXPECT_TRUE(fr.halted);
+        out.push_back(simulate(MachineConfig::superscalar(),
+                               fr.trace, nullptr, "superscalar"));
+        for (const SpawnPolicy &p : testPolicies()) {
+            SpawnAnalysis sa(*w.module, w.prog);
+            StaticSpawnSource src(HintTable(sa, p));
+            out.push_back(
+                simulate(MachineConfig{}, fr.trace, &src, p.name));
+        }
+    }
+    return out;
+}
+
+std::vector<driver::SweepCell>
+grid()
+{
+    std::vector<driver::SweepCell> cells;
+    for (const std::string &name : testWorkloads()) {
+        cells.push_back({name, kScale,
+                         driver::SourceSpec::baseline(),
+                         MachineConfig::superscalar(),
+                         "superscalar"});
+        for (const SpawnPolicy &p : testPolicies()) {
+            cells.push_back({name, kScale,
+                             driver::SourceSpec::statics(p),
+                             MachineConfig{}, p.name});
+        }
+    }
+    return cells;
+}
+
+void
+expectSameResult(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.policyName, b.policyName);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instrs, b.instrs);
+    EXPECT_EQ(a.spawns, b.spawns);
+    EXPECT_EQ(a.spawnsByKind, b.spawnsByKind);
+    EXPECT_EQ(a.tasksRetired, b.tasksRetired);
+    EXPECT_EQ(a.tasksSquashed, b.tasksSquashed);
+    EXPECT_EQ(a.violations, b.violations);
+    EXPECT_EQ(a.instrsDiverted, b.instrsDiverted);
+    EXPECT_EQ(a.condBranches, b.condBranches);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+    EXPECT_EQ(a.icacheMisses, b.icacheMisses);
+    EXPECT_EQ(a.dcacheMisses, b.dcacheMisses);
+    EXPECT_EQ(a.triggersDisabled, b.triggersDisabled);
+}
+
+TEST(SweepEngine, FourThreadSweepMatchesSerialReference)
+{
+    const std::vector<SimResult> ref = serialReference();
+    driver::SweepRunner runner(4);
+    const auto results = runner.run(grid(), /*report=*/false);
+
+    ASSERT_EQ(results.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i));
+        expectSameResult(results[i].sim, ref[i]);
+    }
+}
+
+TEST(SweepEngine, CacheTracesEachWorkloadExactlyOnce)
+{
+    driver::SweepRunner runner(4);
+    const auto cells = grid();
+    runner.run(cells, /*report=*/false);
+
+    const int nwl = static_cast<int>(testWorkloads().size());
+    EXPECT_EQ(runner.cache().workloadsBuilt(), nwl);
+    EXPECT_EQ(runner.cache().tracesBuilt(), nwl);
+    EXPECT_EQ(runner.cache().analysesBuilt(), nwl);
+    EXPECT_EQ(runner.cache().hintTablesBuilt(),
+              nwl * static_cast<int>(testPolicies().size()));
+
+    // A second pass over the same grid hits the cache throughout.
+    runner.run(cells, /*report=*/false);
+    EXPECT_EQ(runner.cache().workloadsBuilt(), nwl);
+    EXPECT_EQ(runner.cache().tracesBuilt(), nwl);
+    EXPECT_EQ(runner.cache().analysesBuilt(), nwl);
+    EXPECT_EQ(runner.cache().hintTablesBuilt(),
+              nwl * static_cast<int>(testPolicies().size()));
+}
+
+TEST(SweepEngine, ResultsComeBackInCellOrder)
+{
+    driver::SweepRunner runner(4);
+    const auto cells = grid();
+    const auto results = runner.run(cells, /*report=*/false);
+    ASSERT_EQ(results.size(), cells.size());
+    for (size_t i = 0; i < cells.size(); ++i)
+        EXPECT_EQ(results[i].sim.policyName, cells[i].label);
+}
+
+TEST(SweepEngine, SharedTraceIndexMatchesPrivateIndex)
+{
+    Workload w = buildWorkload("twolf", kScale);
+    FuncSimOptions opt;
+    opt.recordTrace = true;
+    FuncSimResult fr = runFunctional(w.prog, opt);
+    ASSERT_TRUE(fr.halted);
+
+    SpawnAnalysis sa(*w.module, w.prog);
+    HintTable table(sa, SpawnPolicy::postdoms());
+    TraceIndex shared(fr.trace);
+
+    StaticSpawnSource srcPrivate(table);
+    SimResult priv =
+        simulate(MachineConfig{}, fr.trace, &srcPrivate, "postdoms");
+    StaticSpawnSource srcShared(table);
+    SimResult shrd = simulate(MachineConfig{}, fr.trace, &srcShared,
+                              "postdoms", &shared);
+    expectSameResult(priv, shrd);
+    EXPECT_GT(priv.spawns, 0u);
+}
+
+TEST(SweepEngine, ParallelForCoversAllIndicesAndRethrows)
+{
+    driver::SweepRunner runner(4);
+    std::vector<std::atomic<int>> hits(64);
+    runner.parallelFor(hits.size(),
+                       [&](size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+
+    EXPECT_THROW(
+        runner.parallelFor(8,
+                           [&](size_t i) {
+                               if (i == 3)
+                                   throw std::runtime_error("boom");
+                           }),
+        std::runtime_error);
+}
+
+TEST(SweepEngine, ParsePositiveDoubleRejectsGarbage)
+{
+    using driver::parsePositiveDouble;
+    ASSERT_TRUE(parsePositiveDouble("1.5").has_value());
+    EXPECT_DOUBLE_EQ(*parsePositiveDouble("1.5"), 1.5);
+    EXPECT_DOUBLE_EQ(*parsePositiveDouble("0.05"), 0.05);
+
+    EXPECT_FALSE(parsePositiveDouble(nullptr).has_value());
+    EXPECT_FALSE(parsePositiveDouble("").has_value());
+    EXPECT_FALSE(parsePositiveDouble("0").has_value());
+    EXPECT_FALSE(parsePositiveDouble("-1").has_value());
+    EXPECT_FALSE(parsePositiveDouble("abc").has_value());
+    EXPECT_FALSE(parsePositiveDouble("1.5x").has_value());
+    EXPECT_FALSE(parsePositiveDouble("nan").has_value());
+    EXPECT_FALSE(parsePositiveDouble("inf").has_value());
+}
+
+TEST(SweepEngine, DefaultJobsHonorsEnvironment)
+{
+    ASSERT_EQ(setenv("PF_BENCH_JOBS", "3", 1), 0);
+    EXPECT_EQ(driver::defaultJobs(), 3);
+    ASSERT_EQ(unsetenv("PF_BENCH_JOBS"), 0);
+    EXPECT_GE(driver::defaultJobs(), 1);
+}
+
+} // namespace
+} // namespace polyflow
