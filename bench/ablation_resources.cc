@@ -145,5 +145,7 @@ main(int argc, char **argv)
             std::cout << "\n";
         }
     }
+    writeRunStats("ablation_resources.stats.json", cells, results);
+    printCycleAttribution(cells, results);
     return 0;
 }

@@ -68,6 +68,8 @@ main(int argc, char **argv)
 
     table.print(std::cout);
     table.writeCsv("fig09.csv");
+    writeRunStats("fig09.stats.json", cells, results);
+    printCycleAttribution(cells, results);
 
     // Paper headline: postdoms more than doubles the best
     // individual heuristic's average speedup.

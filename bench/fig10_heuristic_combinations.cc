@@ -65,6 +65,8 @@ main(int argc, char **argv)
 
     table.print(std::cout);
     table.writeCsv("fig10.csv");
+    writeRunStats("fig10.stats.json", cells, results);
+    printCycleAttribution(cells, results);
 
     double bestCombo = 0;
     for (size_t i = 0; i + 1 < columns.size(); ++i)

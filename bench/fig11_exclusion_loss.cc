@@ -76,6 +76,8 @@ main(int argc, char **argv)
 
     table.print(std::cout);
     table.writeCsv("fig11.csv");
+    writeRunStats("fig11.stats.json", cells, results);
+    printCycleAttribution(cells, results);
     std::cout << "\nPositive numbers mean the excluded category was "
                  "contributing (paper: every category\nmatters on "
                  "specific benchmarks; small negative values can "

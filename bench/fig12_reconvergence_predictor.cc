@@ -118,6 +118,8 @@ main(int argc, char **argv)
 
     table.print(std::cout);
     table.writeCsv("fig12.csv");
+    writeRunStats("fig12.stats.json", cells, results);
+    printCycleAttribution(cells, results);
     std::cout << "\nrec_pred should approach postdoms but lag where "
                  "warm-up and hard-to-identify\nreconvergences "
                  "matter (paper Section 4.4).\n";

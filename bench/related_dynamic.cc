@@ -65,6 +65,8 @@ main(int argc, char **argv)
     t.cell(mean(pdCol), 1);
     t.print(std::cout);
     t.writeCsv("related_dynamic.csv");
+    writeRunStats("related_dynamic.stats.json", cells, results);
+    printCycleAttribution(cells, results);
     std::cout << "\nExpected ordering (paper Section 5): "
                  "DMT <= rec_pred <= postdoms on average.\n";
     return 0;

@@ -14,4 +14,10 @@ cmake --build build -j
 # to stderr, CSV into the build tree.
 (cd build/bench && PF_BENCH_SCALE=0.1 ./fig09_individual_heuristics)
 
+# Cycle-accounting report: re-verifies the slot-accounting identity
+# (buckets sum to cycles x issueWidth) on a live grid and exercises
+# the JSON/CSV stats export.
+(cd build/tools && ./pf_report --scale 0.05 \
+    --json pf_report.smoke.json --csv pf_report.smoke.csv)
+
 echo "smoke: OK"

@@ -162,9 +162,90 @@ TimingSim::unblockTasks()
                 std::max(s.completeCycle, _now) + 1);
             t.fetchReady = std::max(t.fetchReady, resume);
             t.blockedOnBranch = invalidTrace;
+            t.lastFetchStall = FetchStall::Mispredict;
             t.curFetchLine = invalidAddr;  // redirected fetch
         }
     }
+}
+
+void
+TimingSim::accountCycle()
+{
+    _res.slots[static_cast<int>(SlotBucket::Committed)] +=
+        std::uint64_t(_cycleCommits);
+    int empty = _cfg.pipelineWidth - _cycleCommits;
+    if (empty > 0)
+        _res.slots[static_cast<int>(blameBucket())] +=
+            std::uint64_t(empty);
+}
+
+SlotBucket
+TimingSim::stallBucket(const Task &t)
+{
+    switch (t.lastFetchStall) {
+      case FetchStall::Mispredict:
+        return SlotBucket::FetchMispredict;
+      case FetchStall::ICache:
+        return SlotBucket::FetchICache;
+      case FetchStall::Squash:
+        return SlotBucket::SquashRefetch;
+      case FetchStall::None:
+      case FetchStall::SpawnStartup:
+        break;
+    }
+    return SlotBucket::NoTask;
+}
+
+SlotBucket
+TimingSim::blameBucket() const
+{
+    // Head-of-ROB blame: whatever keeps the oldest uncommitted
+    // instruction from committing owns every empty slot this cycle.
+    TraceIdx i = _commitIdx;
+    const InstrState &s = _state[i];
+    const Task &t = _tasks.front();
+    switch (s.stage) {
+      case Stage::Issued:
+      case Stage::InSched:
+        // In the backend, waiting on operands or exec/memory
+        // latency.
+        return SlotBucket::Drain;
+      case Stage::Diverted:
+        return SlotBucket::DivertWait;
+      case Stage::Fetched:
+        // In the fetch queue, rename stalled. Mirror renamePhase's
+        // stall conditions for the head task (position 0).
+        if (s.fetchCycle + _cfg.frontendDepth > _now) {
+            // Frontend refill after a redirect/stall is part of
+            // that stall's cost.
+            return stallBucket(t);
+        }
+        if (!robAllowed(0))
+            return SlotBucket::RobFull;
+        if (divertHolds(i, _trace->instrs[i], t)) {
+            if (static_cast<int>(_divert.size()) >=
+                _cfg.divertEntries) {
+                return SlotBucket::DivertWait;
+            }
+            // Rename ran before the wake-up condition flipped;
+            // transient, uncommon.
+            return SlotBucket::NoTask;
+        }
+        if (static_cast<int>(_sched.size()) >= _cfg.schedEntries)
+            return SlotBucket::SchedulerFull;
+        return SlotBucket::NoTask;
+      case Stage::None:
+        // Not even fetched yet.
+        if (t.blockedOnBranch != invalidTrace)
+            return SlotBucket::FetchMispredict;
+        if (t.fetchReady > _now)
+            return stallBucket(t);
+        // Fetch bandwidth went to other tasks, or cold start.
+        return SlotBucket::NoTask;
+      case Stage::Committed:
+        break;  // unreachable: i is the oldest *uncommitted* instr
+    }
+    return SlotBucket::NoTask;
 }
 
 void
@@ -190,6 +271,7 @@ TimingSim::commitPhase()
         if (_commitIdx == head.end)
             retireHead();
     }
+    _cycleCommits = n;
 }
 
 void
@@ -199,7 +281,8 @@ TimingSim::retireHead()
     const Task &t = _tasks.front();
     if (_events) {
         _events->push_back({TaskEvent::Kind::Retire, _now, t.begin,
-                            t.end, t.triggerPc});
+                            t.end, t.triggerPc, _commitIdx,
+                            t.divertedCount});
     }
     // Profitability feedback (paper Section 3.1): a task most of
     // whose instructions had to synchronize on older tasks added
@@ -472,13 +555,15 @@ TimingSim::applyPendingSpawn()
         nt.end = _pending.end;
         nt.fetchIdx = nt.dispIdx = nt.begin;
         nt.fetchReady = _now + _cfg.spawnStartupDelay;
+        nt.lastFetchStall = FetchStall::SpawnStartup;
         nt.ghr = _pending.ghr;
         nt.ras = _pending.ras;
         nt.triggerPc = _pending.triggerPc;
         nt.depMask = _pending.hint.depMask;
         if (_events) {
             _events->push_back({TaskEvent::Kind::Spawn, _now,
-                                nt.begin, nt.end, nt.triggerPc});
+                                nt.begin, nt.end, nt.triggerPc,
+                                _commitIdx, 0});
         }
         _tasks.insert(_tasks.begin() + pos + 1, std::move(nt));
         ++_res.spawns;
@@ -544,6 +629,7 @@ TimingSim::fetchPhase()
                 t.curFetchLine = line;
                 if (lat > 1) {
                     t.fetchReady = _now + lat;
+                    t.lastFetchStall = FetchStall::ICache;
                     break;
                 }
             }
@@ -656,12 +742,14 @@ TimingSim::squashFromTask(size_t taskPos)
         t.robHeld = 0;
         t.inflight = 0;
         t.fetchIdx = t.dispIdx = t.begin;
-        t.divertedCount = 0;
-        t.fetchReady = _now + _cfg.squashRestartPenalty;
         if (_events) {
             _events->push_back({TaskEvent::Kind::Squash, _now,
-                                t.begin, t.end, t.triggerPc});
+                                t.begin, t.end, t.triggerPc,
+                                _commitIdx, t.divertedCount});
         }
+        t.divertedCount = 0;
+        t.fetchReady = _now + _cfg.squashRestartPenalty;
+        t.lastFetchStall = FetchStall::Squash;
         t.blockedOnBranch = invalidTrace;
         t.curFetchLine = invalidAddr;
         ++_res.tasksSquashed;
@@ -693,6 +781,7 @@ TimingSim::run(const std::string &policyName)
     _ran = true;
     _res.policyName = policyName;
     _res.instrs = _trace->size();
+    _res.issueWidth = std::uint64_t(_cfg.pipelineWidth);
 
     const std::uint64_t cycleLimit =
         std::uint64_t(200) * _trace->size() + 1'000'000;
@@ -702,6 +791,11 @@ TimingSim::run(const std::string &policyName)
         commitPhase();
         if (_commitIdx >= _trace->size())
             break;
+        // Attribute this cycle's issue slots while the post-commit
+        // state is fresh; the final partial cycle (break above)
+        // does not advance _now and is not accounted, keeping the
+        // identity sum(slots) == cycles * issueWidth exact.
+        accountCycle();
         releaseDiverted();
         issuePhase();
         renamePhase();

@@ -83,11 +83,23 @@ class TimingSim
         std::uint64_t completeCycle = 0;
     };
 
+    /** Why a task's fetch last stalled; refines the cycle-
+     *  accounting blame while the stall (and the frontend refill
+     *  behind it) drains. */
+    enum class FetchStall : std::uint8_t {
+        None,          //!< no stall recorded yet (cold start)
+        Mispredict,    //!< branch mispredict redirect
+        ICache,        //!< instruction-cache miss
+        Squash,        //!< restart after a violation squash
+        SpawnStartup,  //!< context-allocation delay of a new task
+    };
+
     struct Task
     {
         TraceIdx begin = 0, end = 0;
         TraceIdx fetchIdx = 0, dispIdx = 0;
         std::uint64_t fetchReady = 0;
+        FetchStall lastFetchStall = FetchStall::None;
         TraceIdx blockedOnBranch = invalidTrace;
         std::uint32_t ghr = 0;
         ReturnAddressStack ras;
@@ -130,6 +142,17 @@ class TimingSim
     void squashFromTask(size_t taskPos);
     void retireHead();
 
+    /** @name Cycle accounting @{ */
+    /** Attribute this cycle's pipelineWidth issue slots: commits
+     *  fill Committed, the rest go to blameBucket(). Called once
+     *  per counted cycle, right after commitPhase(). */
+    void accountCycle();
+    /** Why the oldest uncommitted instruction did not commit. */
+    SlotBucket blameBucket() const;
+    /** Map a task's recorded fetch stall to its bucket. */
+    static SlotBucket stallBucket(const Task &t);
+    /** @} */
+
     /** True if instruction @p i must (still) wait in the divert
      *  queue: a synchronized producer has not been renamed yet. */
     bool divertHolds(TraceIdx i, const DynInstr &d,
@@ -168,6 +191,9 @@ class TimingSim
     int _robUsed = 0;
     TraceIdx _commitIdx = 0;
     std::uint64_t _now = 0;
+    /** Instructions committed this cycle (set by commitPhase,
+     *  consumed by accountCycle). */
+    int _cycleCommits = 0;
 
     MemHierarchy _hier;
     GsharePredictor _gshare;

@@ -24,7 +24,64 @@ struct TaskEvent
     std::uint32_t begin, end;
     /** Trigger PC that spawned it (invalid for the root task). */
     std::uint64_t triggerPc;
+    /** Commit frontier (oldest uncommitted trace index) when the
+     *  event fired. A squash may never hit committed work, so
+     *  commitFrontier <= begin holds for every Squash event. */
+    std::uint64_t commitFrontier = 0;
+    /** Instructions this task sent through the divert queue during
+     *  the incarnation ending here (Retire/Squash; 0 for Spawn). */
+    std::uint32_t diverted = 0;
 };
+
+/**
+ * Cycle-accounting buckets: every (cycle x issue-slot) of a run is
+ * attributed to exactly one of these. Slots that retire an
+ * instruction are Committed; empty slots are blamed on whatever is
+ * holding back the oldest uncommitted instruction (head-of-ROB
+ * blame, in the style of top-down cycle accounting). The taxonomy
+ * and the decision tree are documented in docs/OBSERVABILITY.md.
+ */
+enum class SlotBucket : std::uint8_t {
+    Committed,        //!< slot retired an instruction
+    FetchMispredict,  //!< head fetch stalled on an unresolved or
+                      //!< just-resolved branch mispredict
+    FetchICache,      //!< head fetch waiting on an icache miss
+    DivertWait,       //!< head serialized in the divert queue (or
+                      //!< rename blocked by a full divert queue)
+    SchedulerFull,    //!< head fetched, scheduler has no free entry
+    RobFull,          //!< head fetched, ROB has no free entry
+    SquashRefetch,    //!< head task restarting after a violation
+                      //!< squash
+    NoTask,           //!< head not yet fetched and no classified
+                      //!< stall: cold start, context startup, or
+                      //!< fetch bandwidth spent on other tasks
+    Drain,            //!< head in the backend (scheduler or FU)
+                      //!< waiting on operands or latency
+    NumBuckets,
+};
+
+constexpr int numSlotBuckets =
+    static_cast<int>(SlotBucket::NumBuckets);
+
+/** Stable display/export name of a bucket. */
+inline const char *
+slotBucketName(SlotBucket b)
+{
+    switch (b) {
+      case SlotBucket::Committed: return "committed";
+      case SlotBucket::FetchMispredict:
+        return "fetch-stall:mispredict";
+      case SlotBucket::FetchICache: return "fetch-stall:icache";
+      case SlotBucket::DivertWait: return "divert-wait";
+      case SlotBucket::SchedulerFull: return "scheduler-full";
+      case SlotBucket::RobFull: return "rob-full";
+      case SlotBucket::SquashRefetch: return "squash-refetch";
+      case SlotBucket::NoTask: return "no-task";
+      case SlotBucket::Drain: return "drain";
+      case SlotBucket::NumBuckets: break;
+    }
+    return "?";
+}
 
 /** Aggregate statistics from one timing-simulator run. */
 struct SimResult
@@ -32,6 +89,42 @@ struct SimResult
     std::string policyName;
     std::uint64_t cycles = 0;
     std::uint64_t instrs = 0;
+
+    /** @name Cycle accounting @{ */
+    /** Issue slots per cycle (the run's pipelineWidth). */
+    std::uint64_t issueWidth = 0;
+    /**
+     * Issue slots attributed to each SlotBucket. The accounting
+     * identity — enforced by tests/test_accounting.cc on curated
+     * and fuzzed programs alike — is
+     *
+     *     sum(slots) == cycles * issueWidth
+     *
+     * (the final partial cycle, which commits the last instructions
+     * and does not advance the cycle counter, is not accounted).
+     */
+    std::array<std::uint64_t, numSlotBuckets> slots{};
+
+    /** Sum over all buckets (== cycles * issueWidth). */
+    std::uint64_t
+    slotTotal() const
+    {
+        std::uint64_t s = 0;
+        for (std::uint64_t v : slots)
+            s += v;
+        return s;
+    }
+
+    /** Share of all issue slots in @p b, in percent. */
+    double
+    slotPercent(SlotBucket b) const
+    {
+        std::uint64_t total = slotTotal();
+        return total ? 100.0 *
+                double(slots[static_cast<int>(b)]) / double(total)
+                     : 0.0;
+    }
+    /** @} */
 
     /** @name Task spawning @{ */
     std::uint64_t spawns = 0;

@@ -16,6 +16,7 @@
 #include "sim/core.hh"
 #include "spawn/policy.hh"
 #include "spawn/spawn_analysis.hh"
+#include "stats/export.hh"
 #include "workloads/workloads.hh"
 
 namespace polyflow {
@@ -96,6 +97,8 @@ expectSameResult(const SimResult &a, const SimResult &b)
     EXPECT_EQ(a.icacheMisses, b.icacheMisses);
     EXPECT_EQ(a.dcacheMisses, b.dcacheMisses);
     EXPECT_EQ(a.triggersDisabled, b.triggersDisabled);
+    EXPECT_EQ(a.issueWidth, b.issueWidth);
+    EXPECT_EQ(a.slots, b.slots);
 }
 
 TEST(SweepEngine, FourThreadSweepMatchesSerialReference)
@@ -181,6 +184,51 @@ TEST(SweepEngine, ParallelForCoversAllIndicesAndRethrows)
                                    throw std::runtime_error("boom");
                            }),
         std::runtime_error);
+}
+
+std::vector<stats::RunRecord>
+toRecords(const std::vector<driver::SweepCell> &cells,
+          const std::vector<driver::CellResult> &results)
+{
+    std::vector<stats::RunRecord> recs;
+    for (size_t i = 0; i < cells.size(); ++i) {
+        recs.push_back({cells[i].workload, cells[i].scale,
+                        cells[i].label, results[i].sim});
+    }
+    return recs;
+}
+
+TEST(SweepEngine, JsonStatsExportIsByteIdenticalAcrossJobCounts)
+{
+    // The structured export must thread through the sweep engine
+    // unchanged: a 4-thread sweep serializes to exactly the bytes
+    // the serial sweep produces — compared cell by cell so a
+    // mismatch names the offender, then on the whole document.
+    const auto cells = grid();
+    driver::SweepRunner serial(1);
+    driver::SweepRunner parallel(4);
+    const auto refRecs =
+        toRecords(cells, serial.run(cells, /*report=*/false));
+    const auto parRecs =
+        toRecords(cells, parallel.run(cells, /*report=*/false));
+    ASSERT_EQ(refRecs.size(), parRecs.size());
+
+    for (size_t i = 0; i < refRecs.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i) + " (" +
+                     cells[i].workload + "/" + cells[i].label + ")");
+        EXPECT_EQ(stats::runToJson(parRecs[i]),
+                  stats::runToJson(refRecs[i]));
+    }
+    EXPECT_EQ(stats::toJson(parRecs), stats::toJson(refRecs));
+    EXPECT_EQ(stats::toCsv(parRecs), stats::toCsv(refRecs));
+
+    // And the export carries the accounting identity for every
+    // cell, so downstream consumers can rely on it.
+    for (const auto &rec : parRecs) {
+        EXPECT_EQ(rec.sim.slotTotal(),
+                  rec.sim.cycles * rec.sim.issueWidth)
+            << rec.workload << "/" << rec.label;
+    }
 }
 
 TEST(SweepEngine, ParsePositiveDoubleRejectsGarbage)

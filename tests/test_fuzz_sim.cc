@@ -151,6 +151,21 @@ class ProgramGen
     Addr _data = 0;
 };
 
+/** The cycle-accounting identity: every (cycle x issue-slot) went
+ *  to exactly one bucket. Checked on fuzzed CFGs, not just the
+ *  curated workloads (tests/test_accounting.cc). */
+void
+expectSlotIdentity(const SimResult &r, std::uint64_t width)
+{
+    EXPECT_EQ(r.issueWidth, width) << r.policyName;
+    EXPECT_EQ(r.slotTotal(), r.cycles * r.issueWidth)
+        << r.policyName;
+    std::uint64_t committed =
+        r.slots[static_cast<int>(SlotBucket::Committed)];
+    EXPECT_LT(committed, r.instrs) << r.policyName;
+    EXPECT_GE(committed + r.issueWidth, r.instrs) << r.policyName;
+}
+
 class SimFuzz : public ::testing::TestWithParam<int>
 {};
 
@@ -180,6 +195,7 @@ TEST_P(SimFuzz, WholeStackInvariants)
     EXPECT_EQ(ss.instrs, r1.trace.size());
     EXPECT_GT(ss.cycles, 0u);
     EXPECT_LE(ss.ipc(), 8.0);
+    expectSlotIdentity(ss, 8);
 
     // PolyFlow under three policies: completes with the same
     // instruction count; spawn bookkeeping consistent.
@@ -192,16 +208,19 @@ TEST_P(SimFuzz, WholeStackInvariants)
         EXPECT_EQ(pf.instrs, r1.trace.size()) << pol.name;
         EXPECT_LE(pf.ipc(), 16.0) << pol.name;
         EXPECT_GE(pf.tasksRetired, 1u) << pol.name;
+        EXPECT_EQ(pf.tasksRetired, pf.spawns + 1) << pol.name;
         std::uint64_t byKind = 0;
         for (int k = 0; k < numSpawnKinds; ++k)
             byKind += pf.spawnsByKind[k];
         EXPECT_EQ(byKind, pf.spawns) << pol.name;
+        expectSlotIdentity(pf, 8);
     }
 
     // The dynamic reconvergence source also completes.
     ReconSpawnSource rec;
     SimResult rr = simulate(MachineConfig{}, r1.trace, &rec, "rec");
     EXPECT_EQ(rr.instrs, r1.trace.size());
+    expectSlotIdentity(rr, 8);
 }
 
 TEST_P(SimFuzz, SqueezeResourcesStillCompletes)
@@ -226,6 +245,9 @@ TEST_P(SimFuzz, SqueezeResourcesStillCompletes)
     StaticSpawnSource src{HintTable(sa, SpawnPolicy::postdoms())};
     SimResult pf = simulate(tight, r.trace, &src, "tight");
     EXPECT_EQ(pf.instrs, r.trace.size());
+    // Slot accounting must stay exact even when every resource
+    // (ROB, scheduler, divert queue, contexts) is squeezed.
+    expectSlotIdentity(pf, std::uint64_t(tight.pipelineWidth));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimFuzz, ::testing::Range(0, 15));

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * pf_report: the "where did the cycles go" tool.
+ *
+ * Runs the timing simulator for any (workload, policy, config) cell
+ * — or a whole grid of them — and prints the cycle-accounting
+ * breakdown: the share of issue slots each SlotBucket absorbed. The
+ * accounting identity (buckets sum to cycles * issueWidth) is
+ * re-verified on every run; a violation is a hard error.
+ *
+ * Usage:
+ *   pf_report [--workload NAME]... [--policy NAME]...
+ *             [--scale S] [--jobs N] [--width W]
+ *             [--json PATH] [--csv PATH]
+ *
+ * Policies: superscalar, loop, loopFT, procFT, hammock, other,
+ * postdoms, rec_pred, dmt. Defaults: every workload, superscalar +
+ * postdoms, scale from PF_BENCH_SCALE (else 0.1).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "driver/sweep.hh"
+#include "stats/export.hh"
+#include "stats/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace polyflow;
+
+namespace {
+
+struct Options
+{
+    std::vector<std::string> workloads;
+    std::vector<std::string> policies;
+    double scale = 0.1;
+    int jobs = 0;
+    int width = 0;  //!< 0 = config default
+    std::string jsonPath;
+    std::string csvPath;
+};
+
+[[noreturn]] void
+usage(const char *msg)
+{
+    if (msg)
+        std::fprintf(stderr, "pf_report: %s\n", msg);
+    std::fprintf(
+        stderr,
+        "usage: pf_report [--workload NAME]... [--policy NAME]...\n"
+        "                 [--scale S] [--jobs N] [--width W]\n"
+        "                 [--json PATH] [--csv PATH]\n"
+        "policies: superscalar loop loopFT procFT hammock other\n"
+        "          postdoms rec_pred dmt\n");
+    std::exit(2);
+}
+
+std::optional<driver::SourceSpec>
+specFor(const std::string &policy)
+{
+    if (policy == "superscalar")
+        return driver::SourceSpec::baseline();
+    if (policy == "loop")
+        return driver::SourceSpec::statics(SpawnPolicy::loop());
+    if (policy == "loopFT")
+        return driver::SourceSpec::statics(SpawnPolicy::loopFT());
+    if (policy == "procFT")
+        return driver::SourceSpec::statics(SpawnPolicy::procFT());
+    if (policy == "hammock")
+        return driver::SourceSpec::statics(SpawnPolicy::hammock());
+    if (policy == "other")
+        return driver::SourceSpec::statics(SpawnPolicy::other());
+    if (policy == "postdoms")
+        return driver::SourceSpec::statics(SpawnPolicy::postdoms());
+    if (policy == "rec_pred")
+        return driver::SourceSpec::recon();
+    if (policy == "dmt")
+        return driver::SourceSpec::dmt();
+    return std::nullopt;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    if (const char *s = std::getenv("PF_BENCH_SCALE")) {
+        if (auto v = driver::parsePositiveDouble(s))
+            opt.scale = *v;
+    }
+    auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage("missing value");
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "--workload")) {
+            opt.workloads.push_back(value(i));
+        } else if (!std::strcmp(a, "--policy")) {
+            opt.policies.push_back(value(i));
+        } else if (!std::strcmp(a, "--scale")) {
+            auto v = driver::parsePositiveDouble(value(i));
+            if (!v)
+                usage("--scale: expected a positive number");
+            opt.scale = *v;
+        } else if (!std::strcmp(a, "--jobs")) {
+            opt.jobs = std::atoi(value(i));
+            if (opt.jobs < 1)
+                usage("--jobs: expected a positive integer");
+        } else if (!std::strcmp(a, "--width")) {
+            opt.width = std::atoi(value(i));
+            if (opt.width < 1)
+                usage("--width: expected a positive integer");
+        } else if (!std::strcmp(a, "--json")) {
+            opt.jsonPath = value(i);
+        } else if (!std::strcmp(a, "--csv")) {
+            opt.csvPath = value(i);
+        } else if (!std::strcmp(a, "--help") ||
+                   !std::strcmp(a, "-h")) {
+            usage(nullptr);
+        } else {
+            usage(("unknown argument: " + std::string(a)).c_str());
+        }
+    }
+    if (opt.workloads.empty())
+        opt.workloads = allWorkloadNames();
+    if (opt.policies.empty())
+        opt.policies = {"superscalar", "postdoms"};
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    std::vector<driver::SweepCell> cells;
+    for (const std::string &w : opt.workloads) {
+        for (const std::string &p : opt.policies) {
+            auto spec = specFor(p);
+            if (!spec)
+                usage(("unknown policy: " + p).c_str());
+            MachineConfig cfg = p == "superscalar"
+                ? MachineConfig::superscalar()
+                : MachineConfig{};
+            if (opt.width > 0)
+                cfg.pipelineWidth = opt.width;
+            cells.push_back({w, opt.scale, *spec, cfg, p});
+        }
+    }
+
+    driver::SweepRunner runner(opt.jobs);
+    const auto results = runner.run(cells, /*report=*/false);
+
+    std::cout << "=== pf_report: cycle accounting (share of "
+              << "cycles x issueWidth slots, %) ===\n"
+              << "scale " << opt.scale << ", "
+              << cells.size() << " runs\n\n";
+
+    std::vector<std::string> header = {"benchmark", "run", "cycles",
+                                       "IPC"};
+    for (int b = 0; b < numSlotBuckets; ++b)
+        header.push_back(slotBucketName(static_cast<SlotBucket>(b)));
+    Table table(header);
+
+    std::vector<stats::RunRecord> records;
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const SimResult &s = results[i].sim;
+        if (s.slotTotal() != s.cycles * s.issueWidth) {
+            std::fprintf(stderr,
+                         "pf_report: accounting identity violated "
+                         "for %s/%s: %llu slots != %llu cycles x "
+                         "%llu\n",
+                         cells[i].workload.c_str(),
+                         cells[i].label.c_str(),
+                         (unsigned long long)s.slotTotal(),
+                         (unsigned long long)s.cycles,
+                         (unsigned long long)s.issueWidth);
+            return 1;
+        }
+        table.startRow();
+        table.cell(cells[i].workload);
+        table.cell(cells[i].label);
+        table.cell(static_cast<unsigned long long>(s.cycles));
+        table.cell(s.ipc());
+        for (int b = 0; b < numSlotBuckets; ++b)
+            table.cell(s.slotPercent(static_cast<SlotBucket>(b)), 1);
+        records.push_back({cells[i].workload, cells[i].scale,
+                           cells[i].label, s});
+    }
+    table.print(std::cout);
+
+    if (!opt.jsonPath.empty()) {
+        stats::writeFile(opt.jsonPath, stats::toJson(records));
+        std::cout << "\nwrote " << opt.jsonPath << "\n";
+    }
+    if (!opt.csvPath.empty()) {
+        stats::writeFile(opt.csvPath, stats::toCsv(records));
+        std::cout << "wrote " << opt.csvPath << "\n";
+    }
+    return 0;
+}
