@@ -9,12 +9,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "isa/functional_sim.hh"
-#include "sim/core.hh"
-#include "spawn/policy.hh"
-#include "spawn/spawn_analysis.hh"
+#include "polyflow.hh"
 #include "stats/table.hh"
-#include "workloads/workloads.hh"
 
 using namespace polyflow;
 
@@ -26,14 +22,11 @@ main(int argc, char **argv)
 
     std::cout << "workload: " << name << " (scale " << scale
               << ")\n";
-    Workload w = buildWorkload(name, scale);
-    FuncSimOptions opt;
-    opt.recordTrace = true;
-    auto fr = runFunctional(w.prog, opt);
-    std::cout << "committed instructions: " << fr.instrCount
+    Session s = Session::open(name, scale);
+    std::cout << "committed instructions: " << s.trace().size()
               << "\n\n";
 
-    SpawnAnalysis sa(*w.module, w.prog);
+    const SpawnAnalysis &sa = s.analysis();
     std::cout << "static spawn points (" << sa.points().size()
               << "):\n";
     for (const SpawnPoint &p : sa.points())
@@ -53,17 +46,14 @@ main(int argc, char **argv)
     Table t({"policy", "cycles", "IPC", "speedup%", "spawns",
              "skipCtx", "skipDist", "skipFb", "viol", "squash",
              "divert", "mispred", "I$miss", "disTrig"});
-    SimResult base;
+    TimingResult base;
     for (const SpawnPolicy &pol : policies) {
-        SimResult r;
-        if (pol.kindMask == 0) {
-            r = simulate(MachineConfig::superscalar(), fr.trace,
-                         nullptr, pol.name);
+        MachineConfig cfg = pol.kindMask == 0
+            ? MachineConfig::superscalar()
+            : MachineConfig{};
+        TimingResult r = s.simulate(cfg, pol);
+        if (pol.kindMask == 0)
             base = r;
-        } else {
-            StaticSpawnSource src{HintTable(sa, pol)};
-            r = simulate(MachineConfig{}, fr.trace, &src, pol.name);
-        }
         t.startRow();
         t.cell(pol.name);
         t.cell((long long)r.cycles);

@@ -5,8 +5,9 @@
  * 1. Assemble a program (the paper's Figure 1 loop) from text.
  * 2. Compute its postdominator tree and control dependence graph.
  * 3. Identify and classify spawn points.
- * 4. Run it functionally, then on the superscalar baseline and on
- *    PolyFlow with control-equivalent spawning.
+ * 4. Run it functionally with the low-level golden model, then hand
+ *    it to polyflow::Session for the timing comparison: superscalar
+ *    baseline vs. PolyFlow with control-equivalent spawning.
  */
 
 #include <iostream>
@@ -15,10 +16,7 @@
 #include "analysis/control_dep.hh"
 #include "analysis/dominators.hh"
 #include "asm/assembler.hh"
-#include "isa/functional_sim.hh"
-#include "sim/core.hh"
-#include "spawn/policy.hh"
-#include "spawn/spawn_analysis.hh"
+#include "polyflow.hh"
 
 using namespace polyflow;
 
@@ -58,7 +56,7 @@ main()
     }
     LinkedProgram prog = mod->link();
 
-    // --- Static analysis.
+    // --- Static analysis, built by hand to show the pieces.
     const Function &fn = mod->function(0);
     CfgView cfg(fn);
     PostDominatorTree pdt(cfg);
@@ -73,26 +71,32 @@ main()
                   << "\n";
     }
 
-    SpawnAnalysis sa(*mod, prog);
-    std::cout << "\nspawn points:\n";
-    for (const SpawnPoint &p : sa.points())
-        std::cout << "  " << p.toString() << "\n";
-
-    // --- Execution.
-    FuncSimOptions opt;
+    // --- Functional execution with the low-level golden model
+    // (Session would do this for us, but the final architectural
+    // state is only visible down here).
+    FunctionalOptions opt;
     opt.recordTrace = true;
     auto fr = runFunctional(prog, opt);
     std::cout << "\nfunctional run: " << fr.instrCount
               << " instructions, accumulator = "
               << fr.finalState->readReg(reg::t3) << "\n";
 
-    SimResult ss = simulate(MachineConfig::superscalar(), fr.trace,
-                            nullptr, "superscalar");
-    StaticSpawnSource src{HintTable(sa, SpawnPolicy::postdoms())};
-    SimResult pf =
-        simulate(MachineConfig{}, fr.trace, &src, "postdoms");
+    // --- The same pipeline through the front door: adopt the
+    // ad-hoc program into a Session and let it wire trace ->
+    // analysis -> hint table -> timing simulation.
+    Workload w{"figure1", std::move(mod), std::move(prog)};
+    Session s = Session::adopt(std::move(w));
 
-    std::cout << "superscalar: " << ss.cycles << " cycles (IPC "
+    std::cout << "\nspawn points:\n";
+    for (const SpawnPoint &p : s.analysis().points())
+        std::cout << "  " << p.toString() << "\n";
+
+    TimingResult ss = s.simulate(MachineConfig::superscalar(),
+                                 SpawnPolicy::none());
+    TimingResult pf =
+        s.simulate(MachineConfig{}, SpawnPolicy::postdoms());
+
+    std::cout << "\nsuperscalar: " << ss.cycles << " cycles (IPC "
               << ss.ipc() << ", " << ss.branchMispredicts
               << " mispredicts)\n";
     std::cout << "PolyFlow:    " << pf.cycles << " cycles (IPC "

@@ -12,11 +12,7 @@
 #include <iostream>
 #include <map>
 
-#include "isa/functional_sim.hh"
-#include "sim/core.hh"
-#include "spawn/policy.hh"
-#include "spawn/spawn_analysis.hh"
-#include "workloads/workloads.hh"
+#include "polyflow.hh"
 
 using namespace polyflow;
 
@@ -27,18 +23,13 @@ main(int argc, char **argv)
     double scale = argc > 2 ? std::atof(argv[2]) : 0.05;
     size_t maxTasks = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 40;
 
-    Workload w = buildWorkload(name, scale);
-    FuncSimOptions opt;
-    opt.recordTrace = true;
-    auto fr = runFunctional(w.prog, opt);
-    SpawnAnalysis sa(*w.module, w.prog);
-    StaticSpawnSource src{
-        HintTable(sa, SpawnPolicy::postdoms())};
+    Session s = Session::open(name, scale);
 
     std::vector<TaskEvent> events;
-    TimingSim sim(MachineConfig{}, fr.trace, &src);
-    sim.traceTasks(&events);
-    SimResult res = sim.run("postdoms");
+    RunOptions opts;
+    opts.events = &events;
+    TimingResult res =
+        s.simulate(MachineConfig{}, SpawnPolicy::postdoms(), opts);
 
     std::cout << name << " under postdoms: " << res.cycles
               << " cycles, " << res.spawns << " spawns, "

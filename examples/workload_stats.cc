@@ -7,13 +7,11 @@
  * it stands in for.
  */
 
+#include <cstdlib>
 #include <iostream>
 
-#include "isa/functional_sim.hh"
-#include "sim/core.hh"
-#include "spawn/spawn_analysis.hh"
+#include "polyflow.hh"
 #include "stats/table.hh"
-#include "workloads/workloads.hh"
 
 using namespace polyflow;
 
@@ -27,27 +25,24 @@ main(int argc, char **argv)
              "staticInstrs", "spawnPts"});
 
     for (const std::string &name : allWorkloadNames()) {
-        Workload w = buildWorkload(name, scale);
-        FuncSimOptions opt;
-        opt.recordTrace = true;
-        auto r = runFunctional(w.prog, opt);
+        Session s = Session::open(name, scale);
+        const Trace &trace = s.trace();
 
         std::uint64_t loads = 0, stores = 0, branches = 0, calls = 0;
-        for (TraceIdx i = 0; i < r.trace.size(); ++i) {
-            const Instruction &in = r.trace.staticOf(i).instr;
+        for (TraceIdx i = 0; i < trace.size(); ++i) {
+            const Instruction &in = trace.staticOf(i).instr;
             loads += in.isLoad();
             stores += in.isStore();
             branches += in.isCondBranch();
             calls += in.isCall();
         }
-        SimResult ss = simulate(MachineConfig::superscalar(),
-                                r.trace, nullptr, "ss");
-        SpawnAnalysis sa(*w.module, w.prog);
+        TimingResult ss = s.simulate(MachineConfig::superscalar(),
+                                     SpawnPolicy::none());
 
-        double n = double(r.trace.size());
+        double n = double(trace.size());
         t.startRow();
         t.cell(name);
-        t.cell((long long)r.trace.size());
+        t.cell((long long)trace.size());
         t.cell(100.0 * loads / n, 1);
         t.cell(100.0 * stores / n, 1);
         t.cell(100.0 * branches / n, 1);
@@ -56,8 +51,8 @@ main(int argc, char **argv)
                         : 0.0,
                1);
         t.cell(ss.ipc());
-        t.cell((long long)w.prog.size());
-        t.cell((long long)sa.points().size());
+        t.cell((long long)s.program().size());
+        t.cell((long long)s.analysis().points().size());
     }
     t.print(std::cout);
     return 0;

@@ -2,16 +2,24 @@
 # Smoke check: the tier-1 verify flow plus one sweep-engine bench at
 # a tenth of the default workload scale. Catches build breaks, test
 # regressions and bench-harness crashes in a couple of minutes.
+#
+# All smoke artifacts share one persistent store (PF_CACHE_DIR), so
+# running this script twice exercises the warm path: the second run
+# performs zero functional simulations and must produce identical
+# tables. The warm-cache CI job asserts exactly that.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+PF_CACHE_DIR="${PF_CACHE_DIR:-$PWD/build/.pf-cache}"
+export PF_CACHE_DIR
 
 cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 # One bench through the sweep engine; table goes to stdout, timing
-# to stderr, CSV into the build tree.
+# and cache accounting to stderr, CSV into the build tree.
 (cd build/bench && PF_BENCH_SCALE=0.1 ./fig09_individual_heuristics)
 
 # Cycle-accounting report: re-verifies the slot-accounting identity
@@ -19,5 +27,8 @@ cmake --build build -j
 # the JSON/CSV stats export.
 (cd build/tools && ./pf_report --scale 0.05 \
     --json pf_report.smoke.json --csv pf_report.smoke.csv)
+
+# Every artifact the runs above persisted must validate.
+./build/tools/pf_cache verify
 
 echo "smoke: OK"

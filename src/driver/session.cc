@@ -1,0 +1,153 @@
+#include "driver/session.hh"
+
+namespace polyflow {
+
+namespace {
+
+/** Spawn source over a cache-shared hint table (StaticSpawnSource
+ *  owns its table; this one only borrows). Query is read-only, so
+ *  one table serves any number of concurrent simulations. */
+class SharedHintSource final : public SpawnSource
+{
+  public:
+    explicit SharedHintSource(std::shared_ptr<const HintTable> table)
+        : _table(std::move(table))
+    {}
+
+    std::optional<SpawnHint>
+    query(const LinkedInstr &li) override
+    {
+        const SpawnPoint *p = _table->lookup(li.addr);
+        if (!p)
+            return std::nullopt;
+        return SpawnHint{p->targetPc, p->kind, p->depMask};
+    }
+
+    void onCommit(const LinkedInstr &, bool) override {}
+
+  private:
+    std::shared_ptr<const HintTable> _table;
+};
+
+std::shared_ptr<driver::SweepCache>
+privateCache()
+{
+    auto cache = std::make_shared<driver::SweepCache>();
+    cache->attachStore(store::ArtifactStore::openFromEnv());
+    return cache;
+}
+
+} // namespace
+
+Session::Session(std::string name, double scale,
+                 std::shared_ptr<driver::SweepCache> cache)
+    : _name(std::move(name)), _scale(scale), _cache(std::move(cache))
+{}
+
+Session
+Session::open(const std::string &name, double scale)
+{
+    return open(name, scale, privateCache());
+}
+
+Session
+Session::open(const std::string &name, double scale,
+              std::shared_ptr<driver::SweepCache> cache)
+{
+    return Session(name, scale, std::move(cache));
+}
+
+Session
+Session::adopt(Workload workload, double scale)
+{
+    auto cache = privateCache();
+    std::string name = workload.name;
+    cache->adopt(std::move(workload), scale);
+    return Session(std::move(name), scale, std::move(cache));
+}
+
+const Workload &
+Session::workload() const
+{
+    return *_cache->workload(_name, _scale);
+}
+
+const LinkedProgram &
+Session::program() const
+{
+    return workload().prog;
+}
+
+const Module &
+Session::module() const
+{
+    return *workload().module;
+}
+
+const Trace &
+Session::trace() const
+{
+    return _cache->traced(_name, _scale)->trace;
+}
+
+const SpawnAnalysis &
+Session::analysis() const
+{
+    return *_cache->analysis(_name, _scale);
+}
+
+std::shared_ptr<const HintTable>
+Session::hints(const SpawnPolicy &policy) const
+{
+    return _cache->hints(_name, _scale, policy);
+}
+
+TimingResult
+Session::simulate(const MachineConfig &config,
+                  const SpawnPolicy &policy,
+                  const RunOptions &options)
+{
+    driver::SourceSpec spec = policy.kindMask == 0
+        ? driver::SourceSpec::baseline()
+        : driver::SourceSpec::statics(policy);
+    return simulate(config, spec, policy.name, options);
+}
+
+TimingResult
+Session::simulate(const MachineConfig &config,
+                  const driver::SourceSpec &source,
+                  const std::string &label,
+                  const RunOptions &options)
+{
+    auto tw = _cache->traced(_name, _scale);
+
+    std::shared_ptr<SpawnSource> src;
+    std::shared_ptr<const TraceIndex> index;
+    switch (source.kind) {
+      case driver::SourceSpec::Kind::Baseline:
+        break;
+      case driver::SourceSpec::Kind::Static:
+        src = std::make_shared<SharedHintSource>(
+            _cache->hints(_name, _scale, source.policy));
+        index = _cache->traceIndex(_name, _scale);
+        break;
+      case driver::SourceSpec::Kind::Recon:
+        src = std::make_shared<ReconSpawnSource>();
+        index = _cache->traceIndex(_name, _scale);
+        break;
+      case driver::SourceSpec::Kind::Dmt:
+        src = std::make_shared<DmtSpawnSource>();
+        index = _cache->traceIndex(_name, _scale);
+        break;
+    }
+
+    TimingSim sim(config, tw->trace, src.get(), index.get());
+    if (options.events)
+        sim.traceTasks(options.events);
+    TimingResult res = sim.run(label);
+    if (options.sourceOut)
+        *options.sourceOut = std::move(src);
+    return res;
+}
+
+} // namespace polyflow

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * polyflow::Session — the front door of the library.
+ *
+ * A Session is a handle on one (workload, scale) pair that wires the
+ * whole trace → analyze → simulate pipeline behind accessors, so
+ * callers stop hand-wiring runFunctional → TraceIndex →
+ * SpawnAnalysis → HintTable → runTiming:
+ *
+ *     Session s = Session::open("twolf", 0.25);
+ *     const Trace &t = s.trace();                  // traced once
+ *     TimingResult base = s.simulate(
+ *         MachineConfig::superscalar(), SpawnPolicy::none());
+ *     TimingResult pf = s.simulate(
+ *         MachineConfig{}, SpawnPolicy::postdoms());
+ *
+ * Every artifact a Session hands out comes from a SweepCache — built
+ * at most once per process, shared read-only, and (when the
+ * persistent artifact store is enabled, see store/artifact_store.hh)
+ * read through to $PF_CACHE_DIR so a warm process rebuilds nothing.
+ * Sessions are cheap value objects: opening several against one
+ * shared cache (e.g. SweepRunner::cacheHandle()) shares every
+ * artifact; opening with no explicit cache creates a private one
+ * with the environment-selected store attached.
+ */
+
+#ifndef POLYFLOW_DRIVER_SESSION_HH
+#define POLYFLOW_DRIVER_SESSION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/sweep.hh"
+
+namespace polyflow {
+
+/** Per-run knobs for Session::simulate(). */
+struct RunOptions
+{
+    /** Collect task lifecycle events of the run. */
+    std::vector<TaskEvent> *events = nullptr;
+    /**
+     * Receives the run's spawn source, so dynamic sources (the
+     * reconvergence predictor, DMT heuristics) stay inspectable
+     * after training. Set to nullptr for baseline runs.
+     */
+    std::shared_ptr<SpawnSource> *sourceOut = nullptr;
+};
+
+class Session
+{
+  public:
+    /** Nested spelling kept so call sites read
+     *  Session::RunOptions. */
+    using RunOptions = polyflow::RunOptions;
+
+    /**
+     * Open a session on a registered workload (see
+     * workloads/workloads.hh), with a private cache backed by the
+     * environment-selected artifact store.
+     */
+    static Session open(const std::string &name, double scale = 1.0);
+
+    /** Open against an existing shared cache (and its store). */
+    static Session open(const std::string &name, double scale,
+                        std::shared_ptr<driver::SweepCache> cache);
+
+    /**
+     * Wrap an ad-hoc program (e.g. one just assembled from text) in
+     * a session. The workload's name and @p scale key its cache and
+     * store entries; the store stays safe against name collisions
+     * because keys also hash the linked program's content.
+     */
+    static Session adopt(Workload workload, double scale = 1.0);
+
+    /** @name Identity @{ */
+    const std::string &name() const { return _name; }
+    double scale() const { return _scale; }
+    /** @} */
+
+    /** @name Pipeline artifacts (each built/loaded at most once) @{ */
+    const Workload &workload() const;
+    const LinkedProgram &program() const;
+    const Module &module() const;
+    /** Committed trace from the functional golden model. */
+    const Trace &trace() const;
+    /** Whole-module spawn analysis. */
+    const SpawnAnalysis &analysis() const;
+    /** Hint table for @p policy (cached per policy kind mask). */
+    std::shared_ptr<const HintTable>
+    hints(const SpawnPolicy &policy) const;
+    /** @} */
+
+    /**
+     * One timing simulation under a static spawn policy. A policy
+     * with an empty kind mask (SpawnPolicy::none()) runs the
+     * spawning-free superscalar baseline. The run's label defaults
+     * to the policy name.
+     */
+    TimingResult simulate(const MachineConfig &config,
+                          const SpawnPolicy &policy,
+                          const RunOptions &options = {});
+
+    /**
+     * One timing simulation from a SourceSpec, which also covers
+     * the dynamic sources (reconvergence predictor, DMT).
+     */
+    TimingResult simulate(const MachineConfig &config,
+                          const driver::SourceSpec &source,
+                          const std::string &label,
+                          const RunOptions &options = {});
+
+    /** The cache backing this session (shareable across sessions). */
+    const std::shared_ptr<driver::SweepCache> &cache() const
+    {
+        return _cache;
+    }
+
+  private:
+    Session(std::string name, double scale,
+            std::shared_ptr<driver::SweepCache> cache);
+
+    std::string _name;
+    double _scale;
+    std::shared_ptr<driver::SweepCache> _cache;
+};
+
+} // namespace polyflow
+
+#endif // POLYFLOW_DRIVER_SESSION_HH

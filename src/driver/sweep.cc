@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "driver/session.hh"
 #include "isa/functional_sim.hh"
 
 namespace polyflow::driver {
@@ -39,6 +40,16 @@ SweepCache::workload(const std::string &name, double scale)
     });
 }
 
+std::shared_ptr<const Workload>
+SweepCache::adopt(Workload w, double scale)
+{
+    std::string key = scaleKey(w.name, scale);
+    return _workloads.getOrBuild(key, [&] {
+        ++_workloadsBuilt;
+        return std::make_shared<const Workload>(std::move(w));
+    });
+}
+
 std::shared_ptr<const TracedWorkload>
 SweepCache::traced(const std::string &name, double scale)
 {
@@ -46,15 +57,26 @@ SweepCache::traced(const std::string &name, double scale)
         // The trace stores a pointer into the workload's linked
         // program, so trace only the cached (address-stable) copy.
         std::shared_ptr<const Workload> w = workload(name, scale);
-        FuncSimOptions opt;
+        auto tw = std::make_shared<TracedWorkload>();
+        tw->workload = w;
+        // Store tier first: a validated hit skips the functional
+        // run entirely (tracesBuilt stays untouched).
+        if (_store) {
+            if (auto t = _store->loadTrace(name, scale, w->prog)) {
+                tw->trace = std::move(*t);
+                return std::shared_ptr<const TracedWorkload>(
+                    std::move(tw));
+            }
+        }
+        FunctionalOptions opt;
         opt.recordTrace = true;
-        FuncSimResult r = runFunctional(w->prog, opt);
+        FunctionalResult r = runFunctional(w->prog, opt);
         if (!r.halted)
             throw std::runtime_error(name + ": did not halt");
         ++_tracesBuilt;
-        auto tw = std::make_shared<TracedWorkload>();
-        tw->workload = std::move(w);
         tw->trace = std::move(r.trace);
+        if (_store)
+            _store->saveTrace(name, scale, w->prog, tw->trace);
         return std::shared_ptr<const TracedWorkload>(std::move(tw));
     });
 }
@@ -74,9 +96,20 @@ SweepCache::analysis(const std::string &name, double scale)
 {
     return _analyses.getOrBuild(scaleKey(name, scale), [&] {
         auto w = workload(name, scale);
+        if (_store) {
+            if (auto pts = _store->loadAnalysisPoints(name, scale,
+                                                      w->prog)) {
+                return std::make_shared<const SpawnAnalysis>(
+                    std::move(*pts));
+            }
+        }
         ++_analysesBuilt;
-        return std::make_shared<const SpawnAnalysis>(*w->module,
-                                                     w->prog);
+        auto sa = std::make_shared<const SpawnAnalysis>(*w->module,
+                                                        w->prog);
+        if (_store)
+            _store->saveAnalysisPoints(name, scale, w->prog,
+                                       sa->points());
+        return sa;
     });
 }
 
@@ -87,74 +120,42 @@ SweepCache::hints(const std::string &name, double scale,
     std::string key = scaleKey(name, scale) + "#" +
         std::to_string(policy.kindMask);
     return _hints.getOrBuild(key, [&] {
+        auto w = workload(name, scale);
+        if (_store) {
+            if (auto pts = _store->loadHintPoints(
+                    name, scale, w->prog, policy.kindMask)) {
+                return std::make_shared<const HintTable>(*pts);
+            }
+        }
         auto sa = analysis(name, scale);
         ++_hintTablesBuilt;
-        return std::make_shared<const HintTable>(*sa, policy);
+        auto ht = std::make_shared<const HintTable>(*sa, policy);
+        if (_store)
+            _store->saveHintPoints(name, scale, w->prog,
+                                   policy.kindMask, ht->points());
+        return ht;
     });
 }
 
-namespace {
-
-/** Spawn source over a cache-shared hint table (StaticSpawnSource
- *  owns its table; this one only borrows). Query is read-only, so
- *  one table serves any number of concurrent simulations. */
-class SharedHintSource final : public SpawnSource
-{
-  public:
-    explicit SharedHintSource(std::shared_ptr<const HintTable> table)
-        : _table(std::move(table))
-    {}
-
-    std::optional<SpawnHint>
-    query(const LinkedInstr &li) override
-    {
-        const SpawnPoint *p = _table->lookup(li.addr);
-        if (!p)
-            return std::nullopt;
-        return SpawnHint{p->targetPc, p->kind, p->depMask};
-    }
-
-    void onCommit(const LinkedInstr &, bool) override {}
-
-  private:
-    std::shared_ptr<const HintTable> _table;
-};
-
-} // namespace
-
 SweepRunner::SweepRunner(int jobs)
-    : _jobs(jobs > 0 ? jobs : defaultJobs())
-{}
+    : _jobs(jobs > 0 ? jobs : defaultJobs()),
+      _cache(std::make_shared<SweepCache>())
+{
+    _cache->attachStore(store::ArtifactStore::openFromEnv());
+}
 
 CellResult
 SweepRunner::runCell(const SweepCell &cell)
 {
-    auto tw = _cache.traced(cell.workload, cell.scale);
-
+    Session session =
+        Session::open(cell.workload, cell.scale, _cache);
     CellResult out;
-    std::shared_ptr<const TraceIndex> index;
-    switch (cell.source.kind) {
-      case SourceSpec::Kind::Baseline:
-        break;
-      case SourceSpec::Kind::Static:
-        out.source = std::make_shared<SharedHintSource>(
-            _cache.hints(cell.workload, cell.scale,
-                         cell.source.policy));
-        index = _cache.traceIndex(cell.workload, cell.scale);
-        break;
-      case SourceSpec::Kind::Recon:
-        out.source = std::make_shared<ReconSpawnSource>();
-        index = _cache.traceIndex(cell.workload, cell.scale);
-        break;
-      case SourceSpec::Kind::Dmt:
-        out.source = std::make_shared<DmtSpawnSource>();
-        index = _cache.traceIndex(cell.workload, cell.scale);
-        break;
-    }
+    Session::RunOptions opts;
+    opts.sourceOut = &out.source;
 
     auto t0 = std::chrono::steady_clock::now();
-    out.sim = simulate(cell.config, tw->trace, out.source.get(),
-                       cell.label, index.get());
+    out.sim =
+        session.simulate(cell.config, cell.source, cell.label, opts);
     out.wallSeconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - t0)
@@ -238,8 +239,44 @@ SweepRunner::run(const std::vector<SweepCell> &cells, bool report)
                      "(%.3fs in cells), %.0f simulated instrs/sec\n",
                      cells.size(), _jobs, wall, cellSeconds,
                      wall > 0 ? double(instrs) / wall : 0.0);
+        // Cache-tier accounting: the warm-cache CI job greps for
+        // "cache: 0 traces built" on a second run, so keep the
+        // phrase stable.
+        const auto &st = _cache->store();
+        std::fprintf(stderr,
+                     "[sweep] cache: %d traces built, %d analyses "
+                     "built, %d hint tables built; store %s: "
+                     "%d hits, %d misses\n",
+                     _cache->tracesBuilt(), _cache->analysesBuilt(),
+                     _cache->hintTablesBuilt(),
+                     st ? st->root().string().c_str() : "(disabled)",
+                     st ? st->hits() : 0, st ? st->misses() : 0);
     }
     return results;
+}
+
+std::optional<SourceSpec>
+sourceSpecByName(const std::string &policy)
+{
+    if (policy == "superscalar")
+        return SourceSpec::baseline();
+    if (policy == "loop")
+        return SourceSpec::statics(SpawnPolicy::loop());
+    if (policy == "loopFT")
+        return SourceSpec::statics(SpawnPolicy::loopFT());
+    if (policy == "procFT")
+        return SourceSpec::statics(SpawnPolicy::procFT());
+    if (policy == "hammock")
+        return SourceSpec::statics(SpawnPolicy::hammock());
+    if (policy == "other")
+        return SourceSpec::statics(SpawnPolicy::other());
+    if (policy == "postdoms")
+        return SourceSpec::statics(SpawnPolicy::postdoms());
+    if (policy == "rec_pred")
+        return SourceSpec::recon();
+    if (policy == "dmt")
+        return SourceSpec::dmt();
+    return std::nullopt;
 }
 
 int

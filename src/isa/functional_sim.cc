@@ -7,10 +7,10 @@
 
 namespace polyflow {
 
-FuncSimResult
-runFunctional(const LinkedProgram &prog, const FuncSimOptions &options)
+FunctionalResult
+runFunctional(const LinkedProgram &prog, const FunctionalOptions &options)
 {
-    FuncSimResult res;
+    FunctionalResult res;
     res.finalState = std::make_unique<ArchState>();
     ArchState &st = *res.finalState;
 

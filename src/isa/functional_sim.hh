@@ -17,8 +17,10 @@
 
 namespace polyflow {
 
-/** Result of a functional run. */
-struct FuncSimResult
+/** Result of a functional run.
+ *  (Known as FuncSimResult before the PR-3 API normalization; the
+ *  old name survives as a deprecated alias below.) */
+struct FunctionalResult
 {
     /** Committed trace (empty unless recording was requested). */
     Trace trace;
@@ -31,7 +33,7 @@ struct FuncSimResult
 };
 
 /** Options controlling a functional run. */
-struct FuncSimOptions
+struct FunctionalOptions
 {
     /** Stop after this many committed instructions. */
     std::uint64_t maxInstrs = 50'000'000;
@@ -56,8 +58,18 @@ struct FuncSimOptions
  * program must outlive every use of the trace (do not pass a
  * temporary).
  */
-FuncSimResult runFunctional(const LinkedProgram &prog,
-                            const FuncSimOptions &options = {});
+FunctionalResult runFunctional(const LinkedProgram &prog,
+                               const FunctionalOptions &options = {});
+
+/**
+ * @name Deprecated pre-normalization aliases
+ * Kept for one PR so benches and tests can migrate incrementally to
+ * the FunctionalResult / TimingResult pairing (docs/API.md).
+ * @{
+ */
+using FuncSimResult = FunctionalResult;
+using FuncSimOptions = FunctionalOptions;
+/** @} */
 
 } // namespace polyflow
 

@@ -1,0 +1,60 @@
+#include "isa/trace_io.hh"
+
+#include "store/bytes.hh"
+
+namespace polyflow {
+
+namespace {
+constexpr size_t recordBytes = 4 + 4 + 8 + 4 + 4 + 4;
+} // namespace
+
+void
+encodeTrace(const Trace &trace, std::string &out)
+{
+    out.reserve(out.size() + 8 + recordBytes * trace.instrs.size());
+    store::putU64(out, trace.instrs.size());
+    for (const DynInstr &d : trace.instrs) {
+        store::putU32(out, d.img);
+        store::putU32(out, d.taken ? 1u : 0u);
+        store::putU64(out, d.effAddr);
+        store::putU32(out, d.prod[0]);
+        store::putU32(out, d.prod[1]);
+        store::putU32(out, d.memProd);
+    }
+}
+
+bool
+decodeTrace(std::string_view payload, const LinkedProgram &prog,
+            Trace &out)
+{
+    store::ByteReader r(payload);
+    std::uint64_t count = 0;
+    if (!r.u64(count))
+        return false;
+    if (r.remaining() != count * recordBytes)
+        return false;
+
+    Trace t;
+    t.prog = &prog;
+    t.instrs.resize(count);
+    const std::uint32_t imgLimit =
+        static_cast<std::uint32_t>(prog.size());
+    for (std::uint64_t i = 0; i < count; ++i) {
+        DynInstr &d = t.instrs[i];
+        std::uint32_t flags = 0;
+        if (!r.u32(d.img) || !r.u32(flags) || !r.u64(d.effAddr) ||
+            !r.u32(d.prod[0]) || !r.u32(d.prod[1]) ||
+            !r.u32(d.memProd)) {
+            return false;
+        }
+        if (d.img >= imgLimit || flags > 1)
+            return false;
+        d.taken = flags != 0;
+    }
+    if (!r.atEnd())
+        return false;
+    out = std::move(t);
+    return true;
+}
+
+} // namespace polyflow

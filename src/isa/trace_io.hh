@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Binary serialization of committed dynamic traces (the payload of
+ * the persistent artifact store's trace entries).
+ *
+ * Layout: a u64 record count followed by one fixed-stride 28-byte
+ * record per DynInstr — u32 img, u32 flags (bit 0 = taken), u64
+ * effAddr, u32 prod[0], u32 prod[1], u32 memProd — all little-
+ * endian. Fixed-stride records keep the format mmap-friendly: record
+ * i lives at byte 8 + 28*i of the payload. Container-level headers,
+ * versioning and checksums are the artifact store's job
+ * (store/artifact_store.hh); this codec is payload-only.
+ */
+
+#ifndef POLYFLOW_ISA_TRACE_IO_HH
+#define POLYFLOW_ISA_TRACE_IO_HH
+
+#include <string>
+#include <string_view>
+
+#include "isa/trace.hh"
+
+namespace polyflow {
+
+/** Append the binary encoding of @p trace's records to @p out. */
+void encodeTrace(const Trace &trace, std::string &out);
+
+/**
+ * Decode a trace payload produced by encodeTrace. The resulting
+ * trace is bound to @p prog (which must be the program the trace was
+ * recorded from — the artifact store guarantees this by keying
+ * entries on the program content hash). Returns false, leaving
+ * @p out untouched, on any structural problem: short or oversized
+ * payload, or a record whose static-instruction index is out of
+ * range for @p prog.
+ */
+bool decodeTrace(std::string_view payload, const LinkedProgram &prog,
+                 Trace &out);
+
+} // namespace polyflow
+
+#endif // POLYFLOW_ISA_TRACE_IO_HH

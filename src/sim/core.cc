@@ -773,7 +773,7 @@ TimingSim::squashFromTask(size_t taskPos)
     });
 }
 
-SimResult
+TimingResult
 TimingSim::run(const std::string &policyName)
 {
     if (_ran)
@@ -834,10 +834,10 @@ TimingSim::run(const std::string &policyName)
     return _res;
 }
 
-SimResult
-simulate(const MachineConfig &config, const Trace &trace,
-         SpawnSource *source, const std::string &name,
-         const TraceIndex *sharedIndex)
+TimingResult
+runTiming(const MachineConfig &config, const Trace &trace,
+          SpawnSource *source, const std::string &name,
+          const TraceIndex *sharedIndex)
 {
     TimingSim sim(config, trace, source, sharedIndex);
     return sim.run(name);

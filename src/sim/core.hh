@@ -60,7 +60,7 @@ class TimingSim
               const TraceIndex *sharedIndex = nullptr);
 
     /** Simulate to completion and return the statistics. */
-    SimResult run(const std::string &policyName);
+    TimingResult run(const std::string &policyName);
 
     /** Record task lifecycle events into @p sink (optional; call
      *  before run()). */
@@ -235,7 +235,7 @@ class TimingSim
     void applyPendingSpawn();
 
     PendingSpawn _pending;
-    SimResult _res;
+    TimingResult _res;
     std::vector<TaskEvent> *_events = nullptr;
     bool _ran = false;
 };
@@ -244,9 +244,24 @@ class TimingSim
  * Convenience wrapper: run @p trace on @p config with an optional
  * spawn source. @p sharedIndex, when given, must index @p trace.
  */
-SimResult simulate(const MachineConfig &config, const Trace &trace,
-                   SpawnSource *source, const std::string &name,
-                   const TraceIndex *sharedIndex = nullptr);
+TimingResult runTiming(const MachineConfig &config,
+                       const Trace &trace, SpawnSource *source,
+                       const std::string &name,
+                       const TraceIndex *sharedIndex = nullptr);
+
+/**
+ * @deprecated Pre-normalization name of runTiming(), kept for one
+ * PR so benches and tests can migrate incrementally (docs/API.md).
+ * Most callers should not need either: polyflow::Session wires the
+ * whole trace → analyze → simulate pipeline (polyflow.hh).
+ */
+inline TimingResult
+simulate(const MachineConfig &config, const Trace &trace,
+         SpawnSource *source, const std::string &name,
+         const TraceIndex *sharedIndex = nullptr)
+{
+    return runTiming(config, trace, source, name, sharedIndex);
+}
 
 } // namespace polyflow
 

@@ -1,6 +1,6 @@
 /**
  * @file
- * SimResult: everything a timing run reports.
+ * TimingResult: everything a timing run reports.
  */
 
 #ifndef POLYFLOW_SIM_RESULT_HH
@@ -83,8 +83,10 @@ slotBucketName(SlotBucket b)
     return "?";
 }
 
-/** Aggregate statistics from one timing-simulator run. */
-struct SimResult
+/** Aggregate statistics from one timing-simulator run.
+ *  (Known as SimResult before the PR-3 API normalization; the old
+ *  name survives as a deprecated alias below.) */
+struct TimingResult
 {
     std::string policyName;
     std::uint64_t cycles = 0;
@@ -160,7 +162,7 @@ struct SimResult
 
     /** Percent speedup of this run over @p baseline. */
     double
-    speedupOver(const SimResult &baseline) const
+    speedupOver(const TimingResult &baseline) const
     {
         if (cycles == 0)
             return 0.0;
@@ -168,6 +170,13 @@ struct SimResult
             (double(baseline.cycles) / double(cycles) - 1.0);
     }
 };
+
+/**
+ * @deprecated Pre-normalization name of TimingResult, kept for one
+ * PR so benches and tests can migrate incrementally. New code uses
+ * the FunctionalResult / TimingResult pairing (docs/API.md).
+ */
+using SimResult = TimingResult;
 
 } // namespace polyflow
 

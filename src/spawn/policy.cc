@@ -1,5 +1,7 @@
 #include "spawn/policy.hh"
 
+#include <algorithm>
+
 namespace polyflow {
 
 SpawnPolicy
@@ -100,6 +102,26 @@ HintTable::HintTable(const SpawnAnalysis &analysis,
             _byTrigger[p.triggerPc] = p;
         }
     }
+}
+
+HintTable::HintTable(const std::vector<SpawnPoint> &points)
+{
+    for (const SpawnPoint &p : points)
+        _byTrigger[p.triggerPc] = p;
+}
+
+std::vector<SpawnPoint>
+HintTable::points() const
+{
+    std::vector<SpawnPoint> out;
+    out.reserve(_byTrigger.size());
+    for (const auto &[pc, p] : _byTrigger)
+        out.push_back(p);
+    std::sort(out.begin(), out.end(),
+              [](const SpawnPoint &a, const SpawnPoint &b) {
+                  return a.triggerPc < b.triggerPc;
+              });
+    return out;
 }
 
 const SpawnPoint *

@@ -55,8 +55,24 @@ class HintTable
     HintTable() = default;
     HintTable(const SpawnAnalysis &analysis, const SpawnPolicy &policy);
 
+    /**
+     * Rehydrate a table from its own points() output (the artifact
+     * store's deserialization path). The points are installed
+     * verbatim — policy filtering and trigger-collision resolution
+     * already happened when the table was first built; duplicate
+     * triggers keep the last occurrence.
+     */
+    explicit HintTable(const std::vector<SpawnPoint> &points);
+
     /** The spawn point triggered by @p pc, or nullptr. */
     const SpawnPoint *lookup(Addr pc) const;
+
+    /**
+     * The table's entries sorted by trigger PC — a deterministic
+     * flattening of the unordered map, so serialized hint artifacts
+     * are byte-stable across runs.
+     */
+    std::vector<SpawnPoint> points() const;
 
     size_t size() const { return _byTrigger.size(); }
 

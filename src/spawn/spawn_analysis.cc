@@ -81,6 +81,13 @@ SpawnAnalysis::SpawnAnalysis(const Module &mod,
         ++_census.byKind[static_cast<int>(p.kind)];
 }
 
+SpawnAnalysis::SpawnAnalysis(std::vector<SpawnPoint> points)
+    : _points(std::move(points))
+{
+    for (const SpawnPoint &p : _points)
+        ++_census.byKind[static_cast<int>(p.kind)];
+}
+
 namespace {
 
 /**

@@ -57,6 +57,15 @@ class SpawnAnalysis
   public:
     SpawnAnalysis(const Module &mod, const LinkedProgram &prog);
 
+    /**
+     * Rehydrate an analysis from previously computed spawn points
+     * (the artifact store's deserialization path). Point order must
+     * be the original analysis order — HintTable construction
+     * resolves equal-priority trigger collisions by first
+     * occurrence. The census is recomputed from the points.
+     */
+    explicit SpawnAnalysis(std::vector<SpawnPoint> points);
+
     const std::vector<SpawnPoint> &points() const { return _points; }
 
     /** Spawn points with any of the kinds in @p kindMask. */

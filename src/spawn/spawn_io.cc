@@ -1,0 +1,55 @@
+#include "spawn/spawn_io.hh"
+
+#include "store/bytes.hh"
+
+namespace polyflow {
+
+namespace {
+constexpr size_t recordBytes = 8 + 8 + 4 + 4 + 4;
+} // namespace
+
+void
+encodeSpawnPoints(const std::vector<SpawnPoint> &points,
+                  std::string &out)
+{
+    out.reserve(out.size() + 8 + recordBytes * points.size());
+    store::putU64(out, points.size());
+    for (const SpawnPoint &p : points) {
+        store::putU64(out, p.triggerPc);
+        store::putU64(out, p.targetPc);
+        store::putU32(out, static_cast<std::uint32_t>(p.kind));
+        store::putI32(out, p.func);
+        store::putU32(out, p.depMask);
+    }
+}
+
+bool
+decodeSpawnPoints(std::string_view payload,
+                  std::vector<SpawnPoint> &out)
+{
+    store::ByteReader r(payload);
+    std::uint64_t count = 0;
+    if (!r.u64(count))
+        return false;
+    if (r.remaining() != count * recordBytes)
+        return false;
+
+    std::vector<SpawnPoint> points(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        SpawnPoint &p = points[i];
+        std::uint32_t kind = 0;
+        if (!r.u64(p.triggerPc) || !r.u64(p.targetPc) ||
+            !r.u32(kind) || !r.i32(p.func) || !r.u32(p.depMask)) {
+            return false;
+        }
+        if (kind >= static_cast<std::uint32_t>(SpawnKind::NumKinds))
+            return false;
+        p.kind = static_cast<SpawnKind>(kind);
+    }
+    if (!r.atEnd())
+        return false;
+    out = std::move(points);
+    return true;
+}
+
+} // namespace polyflow

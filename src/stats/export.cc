@@ -123,7 +123,7 @@ countsObject(const Array &counts, int n, NameFn name)
 std::string
 runToJson(const RunRecord &r, int indent)
 {
-    const SimResult &s = r.sim;
+    const TimingResult &s = r.sim;
     std::string out;
     ObjWriter w(out, indent);
     w.field("workload", jsonStr(r.workload));
@@ -197,7 +197,7 @@ toCsv(const std::vector<RunRecord> &records)
     out += "\n";
 
     for (const RunRecord &r : records) {
-        const SimResult &s = r.sim;
+        const TimingResult &s = r.sim;
         out += r.workload;
         out += ',';
         out += fmtScale(r.scale);

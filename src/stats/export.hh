@@ -3,14 +3,14 @@
  * Structured export of timing-simulation statistics.
  *
  * A sweep (or a single run) is serialized as a list of RunRecords —
- * (workload, scale, label, SimResult) — to JSON or CSV. The
+ * (workload, scale, label, TimingResult) — to JSON or CSV. The
  * serialization is fully deterministic: fixed field order, fixed
  * number formatting, LF line endings, no timestamps, no pointers.
  * Because the sweep engine returns results in declaration order at
  * any job count, the exported bytes are identical between `--jobs 1`
  * and `--jobs N` runs; tests/test_driver.cc enforces this per cell.
  *
- * The cycle-accounting buckets (SimResult::slots) are exported under
+ * The cycle-accounting buckets (TimingResult::slots) are exported under
  * their stable slotBucketName() keys; see docs/OBSERVABILITY.md for
  * the taxonomy and the accounting identity.
  */
@@ -32,7 +32,7 @@ struct RunRecord
     double scale = 1.0;
     /** Run label (usually the policy name). */
     std::string label;
-    SimResult sim;
+    TimingResult sim;
 };
 
 /**

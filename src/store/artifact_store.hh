@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The persistent, content-addressed artifact store.
+ *
+ * Every bench and sweep regenerates the same committed traces, spawn
+ * analyses and hint tables from immutable inputs. This store makes
+ * those artifacts persistent across processes: each is serialized
+ * into a versioned binary container under a cache directory
+ * ($PF_CACHE_DIR, default ".pf-cache"), keyed by a content hash of
+ * everything that determines the artifact —
+ *
+ *     (artifact kind, workload name, scale,
+ *      linked-program content hash, format version
+ *      [, policy kind mask for hint tables])
+ *
+ * — so a workload edit, a scale change or a format bump simply
+ * misses and rebuilds; stale entries are never served.
+ *
+ * Container layout (little-endian):
+ *
+ *     magic "PFARTFCT" | u32 formatVersion | u32 kind
+ *     u64 keyHash | u64 payloadBytes | u64 payloadHash (FNV-1a)
+ *     u16 keyLen | key string | payload
+ *
+ * Loads validate all of it — magic, version, kind, full key string,
+ * payload length and checksum — and report any mismatch as a plain
+ * miss, so corrupt, truncated or version-skewed files fall back to a
+ * rebuild, never a crash or a wrong result. Saves are atomic
+ * (unique temp file + rename), so concurrent writers of the same key
+ * race benignly: readers see either nothing or one complete entry.
+ *
+ * The store is a cache, not a database: every save is best-effort
+ * (I/O failures are swallowed and counted), and deleting the cache
+ * directory is always safe.
+ */
+
+#ifndef POLYFLOW_STORE_ARTIFACT_STORE_HH
+#define POLYFLOW_STORE_ARTIFACT_STORE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/module.hh"
+#include "isa/trace.hh"
+#include "spawn/spawn_point.hh"
+
+namespace polyflow::store {
+
+/** Bumped whenever any container or payload layout changes. */
+constexpr std::uint32_t formatVersion = 1;
+
+/** What a store entry holds. */
+enum class ArtifactKind : std::uint32_t {
+    Trace = 1,     //!< committed dynamic trace (isa/trace_io.hh)
+    Analysis = 2,  //!< SpawnAnalysis points (spawn/spawn_io.hh)
+    Hints = 3,     //!< HintTable points for one policy kind mask
+};
+
+const char *artifactKindName(ArtifactKind k);
+
+/** One store entry as seen by the pf_cache CLI. */
+struct EntryInfo
+{
+    std::filesystem::path path;
+    std::uintmax_t fileBytes = 0;
+    /** Parsed from the container header; meaningful iff valid. */
+    ArtifactKind kind = ArtifactKind::Trace;
+    std::string key;
+    /** Full validation (header + checksum) passed. */
+    bool valid = false;
+    /** Human-readable reason when !valid. */
+    std::string error;
+};
+
+/**
+ * Content hash of a linked program: instruction image (operations,
+ * registers, immediates, resolved targets, layout), entry point and
+ * initialized data. Two programs with equal hashes execute
+ * identically under the functional simulator, so trace/analysis
+ * artifacts keyed on it can never be served to a workload whose
+ * definition changed.
+ */
+std::uint64_t programContentHash(const LinkedProgram &prog);
+
+class ArtifactStore
+{
+  public:
+    /** Open (and lazily create) a store rooted at @p root. */
+    explicit ArtifactStore(std::filesystem::path root);
+
+    /**
+     * Open the store named by the environment: $PF_CACHE_DIR, or
+     * ".pf-cache" (relative to the working directory) when unset.
+     * Returns nullptr — caching disabled — when PF_CACHE_DIR is
+     * "off", "none" or "0".
+     */
+    static std::shared_ptr<ArtifactStore> openFromEnv();
+
+    static const char *defaultDir() { return ".pf-cache"; }
+
+    const std::filesystem::path &root() const { return _root; }
+
+    /** @name Typed load/save (the SweepCache read-through tier) @{ */
+    /**
+     * Load the committed trace for (@p name, @p scale, @p prog).
+     * The decoded trace is bound to @p prog. nullopt on miss or on
+     * any validation failure.
+     */
+    std::optional<Trace> loadTrace(const std::string &name,
+                                   double scale,
+                                   const LinkedProgram &prog) const;
+    bool saveTrace(const std::string &name, double scale,
+                   const LinkedProgram &prog, const Trace &trace);
+
+    /** SpawnAnalysis points, in original analysis order. */
+    std::optional<std::vector<SpawnPoint>>
+    loadAnalysisPoints(const std::string &name, double scale,
+                       const LinkedProgram &prog) const;
+    bool saveAnalysisPoints(const std::string &name, double scale,
+                            const LinkedProgram &prog,
+                            const std::vector<SpawnPoint> &points);
+
+    /** HintTable points for one policy kind mask. */
+    std::optional<std::vector<SpawnPoint>>
+    loadHintPoints(const std::string &name, double scale,
+                   const LinkedProgram &prog,
+                   unsigned kindMask) const;
+    bool saveHintPoints(const std::string &name, double scale,
+                        const LinkedProgram &prog, unsigned kindMask,
+                        const std::vector<SpawnPoint> &points);
+    /** @} */
+
+    /** @name Maintenance (tools/pf_cache) @{ */
+    /** Every *.pfa entry under the root, sorted by filename. */
+    std::vector<EntryInfo> entries() const;
+
+    /** Delete entries that fail validation; returns count. */
+    int removeInvalid();
+
+    /**
+     * Delete oldest entries (by last write time) until the store
+     * totals at most @p maxBytes; returns count removed.
+     */
+    int trimToBytes(std::uintmax_t maxBytes);
+
+    /** Delete every entry; returns count. */
+    int clear();
+    /** @} */
+
+    /** @name Hit/miss accounting for reporting and tests @{ */
+    int hits() const { return _hits.load(); }
+    int misses() const { return _misses.load(); }
+    int saveFailures() const { return _saveFailures.load(); }
+    /** @} */
+
+  private:
+    std::string keyString(ArtifactKind kind, const std::string &name,
+                          double scale, const LinkedProgram &prog,
+                          unsigned kindMask) const;
+    std::filesystem::path pathFor(ArtifactKind kind,
+                                  const std::string &key) const;
+
+    /** Validated payload of the entry for @p key, or nullopt. */
+    std::optional<std::string> loadPayload(ArtifactKind kind,
+                                           const std::string &key) const;
+    bool savePayload(ArtifactKind kind, const std::string &key,
+                     const std::string &payload);
+
+    std::filesystem::path _root;
+    mutable std::atomic<int> _hits{0};
+    mutable std::atomic<int> _misses{0};
+    std::atomic<int> _saveFailures{0};
+};
+
+} // namespace polyflow::store
+
+#endif // POLYFLOW_STORE_ARTIFACT_STORE_HH

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Little-endian byte-stream helpers and the FNV-1a hash used by the
+ * persistent artifact store. Header-only so the serialization code
+ * in src/isa and src/spawn can use it without linking pf_store.
+ *
+ * Every multi-byte value is written least-significant byte first,
+ * regardless of host endianness, so cache files are portable and the
+ * checksums are stable across machines.
+ */
+
+#ifndef POLYFLOW_STORE_BYTES_HH
+#define POLYFLOW_STORE_BYTES_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace polyflow::store {
+
+/** @name Append little-endian scalars to a byte buffer @{ */
+inline void
+putU8(std::string &out, std::uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+inline void
+putU16(std::string &out, std::uint16_t v)
+{
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+inline void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void
+putI64(std::string &out, std::int64_t v)
+{
+    putU64(out, static_cast<std::uint64_t>(v));
+}
+
+inline void
+putI32(std::string &out, std::int32_t v)
+{
+    putU32(out, static_cast<std::uint32_t>(v));
+}
+/** @} */
+
+/**
+ * Bounds-checked little-endian reader over a byte buffer. Every
+ * accessor returns false once the buffer is exhausted; ok() stays
+ * false from the first failed read, so a decode loop can check once
+ * at the end.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::string_view data) : _data(data) {}
+
+    bool
+    u8(std::uint8_t &v)
+    {
+        if (!need(1))
+            return false;
+        v = static_cast<std::uint8_t>(_data[_pos++]);
+        return true;
+    }
+
+    bool
+    u16(std::uint16_t &v)
+    {
+        if (!need(2))
+            return false;
+        v = static_cast<std::uint16_t>(
+            static_cast<std::uint8_t>(_data[_pos]) |
+            (static_cast<std::uint8_t>(_data[_pos + 1]) << 8));
+        _pos += 2;
+        return true;
+    }
+
+    bool
+    u32(std::uint32_t &v)
+    {
+        if (!need(4))
+            return false;
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= std::uint32_t(
+                     static_cast<std::uint8_t>(_data[_pos + i]))
+                << (8 * i);
+        _pos += 4;
+        return true;
+    }
+
+    bool
+    u64(std::uint64_t &v)
+    {
+        if (!need(8))
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= std::uint64_t(
+                     static_cast<std::uint8_t>(_data[_pos + i]))
+                << (8 * i);
+        _pos += 8;
+        return true;
+    }
+
+    bool
+    i64(std::int64_t &v)
+    {
+        std::uint64_t u;
+        if (!u64(u))
+            return false;
+        std::memcpy(&v, &u, sizeof(v));
+        return true;
+    }
+
+    bool
+    i32(std::int32_t &v)
+    {
+        std::uint32_t u;
+        if (!u32(u))
+            return false;
+        std::memcpy(&v, &u, sizeof(v));
+        return true;
+    }
+
+    bool
+    bytes(std::string &out, size_t n)
+    {
+        if (!need(n))
+            return false;
+        out.assign(_data.substr(_pos, n));
+        _pos += n;
+        return true;
+    }
+
+    size_t remaining() const { return _data.size() - _pos; }
+    bool atEnd() const { return ok() && _pos == _data.size(); }
+    bool ok() const { return !_failed; }
+
+  private:
+    bool
+    need(size_t n)
+    {
+        if (_failed || _data.size() - _pos < n) {
+            _failed = true;
+            return false;
+        }
+        return true;
+    }
+
+    std::string_view _data;
+    size_t _pos = 0;
+    bool _failed = false;
+};
+
+/** FNV-1a 64-bit over a byte range, chainable via @p seed. */
+constexpr std::uint64_t fnvOffsetBasis = 0xcbf29ce484222325ull;
+constexpr std::uint64_t fnvPrime = 0x100000001b3ull;
+
+inline std::uint64_t
+fnv1a(std::string_view data, std::uint64_t seed = fnvOffsetBasis)
+{
+    std::uint64_t h = seed;
+    for (char c : data) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= fnvPrime;
+    }
+    return h;
+}
+
+/** Hash one little-endian encoded u64 into a running FNV state. */
+inline std::uint64_t
+fnv1aU64(std::uint64_t v, std::uint64_t seed)
+{
+    std::uint64_t h = seed;
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= fnvPrime;
+    }
+    return h;
+}
+
+} // namespace polyflow::store
+
+#endif // POLYFLOW_STORE_BYTES_HH

@@ -22,6 +22,14 @@
 namespace polyflow {
 namespace {
 
+/** These tests assert on SweepCache build counters, which a
+ *  persistent store from an earlier run would legitimately zero
+ *  out. Force the in-process tiers only. */
+const bool kStoreDisabled = [] {
+    ::setenv("PF_CACHE_DIR", "off", 1);
+    return true;
+}();
+
 constexpr double kScale = 0.05;
 
 const std::vector<std::string> &

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Tests for the persistent artifact store: exact round-trips of
+ * every artifact kind, rejection (as a miss, never a crash) of
+ * corrupt / truncated / version-skewed containers, rebuild fallback
+ * through SweepCache, concurrent same-key writers, cold-vs-warm
+ * equality of whole pipeline outputs, and the maintenance surface
+ * the pf_cache CLI drives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "driver/session.hh"
+#include "driver/sweep.hh"
+#include "isa/functional_sim.hh"
+#include "isa/trace_io.hh"
+#include "spawn/spawn_io.hh"
+#include "store/artifact_store.hh"
+#include "workloads/workloads.hh"
+
+namespace polyflow {
+namespace {
+
+namespace fs = std::filesystem;
+using store::ArtifactStore;
+
+/** These tests manage their own store roots. */
+const bool kEnvStoreDisabled = [] {
+    ::setenv("PF_CACHE_DIR", "off", 1);
+    return true;
+}();
+
+/** Fresh private store root per test. */
+class StoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        _root = fs::temp_directory_path() /
+            ("pf-store-test-" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()));
+        fs::remove_all(_root);
+    }
+
+    void TearDown() override { fs::remove_all(_root); }
+
+    fs::path _root;
+};
+
+Workload
+smallWorkload()
+{
+    return buildWorkload("twolf", 0.02);
+}
+
+Trace
+traceOf(const Workload &w)
+{
+    FunctionalOptions opt;
+    opt.recordTrace = true;
+    FunctionalResult r = runFunctional(w.prog, opt);
+    EXPECT_TRUE(r.halted);
+    return std::move(r.trace);
+}
+
+void
+expectSameTrace(const Trace &a, const Trace &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (TraceIdx i = 0; i < a.size(); ++i) {
+        const DynInstr &x = a.instrs[i];
+        const DynInstr &y = b.instrs[i];
+        ASSERT_EQ(x.img, y.img) << "at " << i;
+        ASSERT_EQ(x.taken, y.taken) << "at " << i;
+        ASSERT_EQ(x.effAddr, y.effAddr) << "at " << i;
+        ASSERT_EQ(x.prod[0], y.prod[0]) << "at " << i;
+        ASSERT_EQ(x.prod[1], y.prod[1]) << "at " << i;
+        ASSERT_EQ(x.memProd, y.memProd) << "at " << i;
+    }
+}
+
+void
+expectSamePoints(const std::vector<SpawnPoint> &a,
+                 const std::vector<SpawnPoint> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].triggerPc, b[i].triggerPc) << "at " << i;
+        EXPECT_EQ(a[i].targetPc, b[i].targetPc) << "at " << i;
+        EXPECT_EQ(a[i].kind, b[i].kind) << "at " << i;
+        EXPECT_EQ(a[i].func, b[i].func) << "at " << i;
+        EXPECT_EQ(a[i].depMask, b[i].depMask) << "at " << i;
+    }
+}
+
+// --- Codec round-trips (no filesystem involved).
+
+TEST(TraceCodec, RoundTripsExactly)
+{
+    Workload w = smallWorkload();
+    Trace t = traceOf(w);
+
+    std::string payload;
+    encodeTrace(t, payload);
+    Trace back;
+    ASSERT_TRUE(decodeTrace(payload, w.prog, back));
+    EXPECT_EQ(back.prog, &w.prog);
+    expectSameTrace(t, back);
+}
+
+TEST(TraceCodec, RejectsTruncatedAndTrailingPayloads)
+{
+    Workload w = smallWorkload();
+    Trace t = traceOf(w);
+    std::string payload;
+    encodeTrace(t, payload);
+
+    Trace back;
+    EXPECT_FALSE(decodeTrace(
+        std::string_view(payload).substr(0, payload.size() - 1),
+        w.prog, back));
+    EXPECT_FALSE(decodeTrace(payload + "x", w.prog, back));
+    EXPECT_FALSE(decodeTrace("", w.prog, back));
+}
+
+TEST(TraceCodec, RejectsOutOfRangeStaticIndex)
+{
+    Workload w = smallWorkload();
+    Trace t = traceOf(w);
+    // One record whose static-image index is past program end.
+    Trace evil;
+    evil.prog = &w.prog;
+    evil.instrs.push_back(t.instrs.front());
+    evil.instrs.back().img =
+        static_cast<std::uint32_t>(w.prog.size());
+    std::string payload;
+    encodeTrace(evil, payload);
+    Trace back;
+    EXPECT_FALSE(decodeTrace(payload, w.prog, back));
+}
+
+TEST(SpawnCodec, RoundTripsExactly)
+{
+    Workload w = smallWorkload();
+    SpawnAnalysis sa(*w.module, w.prog);
+    std::string payload;
+    encodeSpawnPoints(sa.points(), payload);
+    std::vector<SpawnPoint> back;
+    ASSERT_TRUE(decodeSpawnPoints(payload, back));
+    expectSamePoints(sa.points(), back);
+}
+
+// --- Store round-trips.
+
+TEST_F(StoreTest, TraceRoundTripsThroughStore)
+{
+    Workload w = smallWorkload();
+    Trace t = traceOf(w);
+
+    ArtifactStore store(_root);
+    EXPECT_FALSE(store.loadTrace("twolf", 0.02, w.prog));
+    EXPECT_EQ(store.misses(), 1);
+    ASSERT_TRUE(store.saveTrace("twolf", 0.02, w.prog, t));
+    auto back = store.loadTrace("twolf", 0.02, w.prog);
+    ASSERT_TRUE(back);
+    EXPECT_EQ(store.hits(), 1);
+    expectSameTrace(t, *back);
+
+    // Wrong scale, wrong name: misses, not collisions.
+    EXPECT_FALSE(store.loadTrace("twolf", 0.021, w.prog));
+    EXPECT_FALSE(store.loadTrace("twolf2", 0.02, w.prog));
+}
+
+TEST_F(StoreTest, ProgramContentChangesTheKey)
+{
+    Workload w = smallWorkload();
+    Trace t = traceOf(w);
+    ArtifactStore store(_root);
+    ASSERT_TRUE(store.saveTrace("twolf", 0.02, w.prog, t));
+
+    // A workload whose program content differs (scale 0.1 emits a
+    // different trip-count immediate) must miss even when queried
+    // under the exact same (name, scale) key — the content hash is
+    // what protects renamed or edited workloads.
+    Workload w2 = buildWorkload("twolf", 0.1);
+    ASSERT_NE(store::programContentHash(w.prog),
+              store::programContentHash(w2.prog));
+    EXPECT_FALSE(store.loadTrace("twolf", 0.02, w2.prog));
+}
+
+TEST_F(StoreTest, AnalysisAndHintsRoundTrip)
+{
+    Workload w = smallWorkload();
+    SpawnAnalysis sa(*w.module, w.prog);
+    SpawnPolicy pol = SpawnPolicy::postdoms();
+    HintTable ht(sa, pol);
+
+    ArtifactStore store(_root);
+    ASSERT_TRUE(
+        store.saveAnalysisPoints("twolf", 0.02, w.prog, sa.points()));
+    ASSERT_TRUE(store.saveHintPoints("twolf", 0.02, w.prog,
+                                     pol.kindMask, ht.points()));
+
+    auto pts = store.loadAnalysisPoints("twolf", 0.02, w.prog);
+    ASSERT_TRUE(pts);
+    expectSamePoints(sa.points(), *pts);
+    // Rehydrated analysis preserves the census.
+    SpawnAnalysis sa2(std::move(*pts));
+    for (int k = 0; k < numSpawnKinds; ++k)
+        EXPECT_EQ(sa.census().byKind[k], sa2.census().byKind[k]);
+
+    auto hp = store.loadHintPoints("twolf", 0.02, w.prog,
+                                   pol.kindMask);
+    ASSERT_TRUE(hp);
+    HintTable ht2(*hp);
+    ASSERT_EQ(ht.size(), ht2.size());
+    expectSamePoints(ht.points(), ht2.points());
+    // A different policy mask is a different key.
+    EXPECT_FALSE(store.loadHintPoints(
+        "twolf", 0.02, w.prog, SpawnPolicy::loop().kindMask));
+}
+
+// --- Validation: every broken container is a miss, never a crash.
+
+TEST_F(StoreTest, CorruptTruncatedAndVersionSkewAreMisses)
+{
+    Workload w = smallWorkload();
+    Trace t = traceOf(w);
+    ArtifactStore store(_root);
+    ASSERT_TRUE(store.saveTrace("twolf", 0.02, w.prog, t));
+
+    auto entries = store.entries();
+    ASSERT_EQ(entries.size(), 1u);
+    ASSERT_TRUE(entries[0].valid);
+    const fs::path file = entries[0].path;
+    std::string pristine;
+    {
+        std::ifstream in(file, std::ios::binary);
+        pristine.assign(std::istreambuf_iterator<char>(in), {});
+    }
+
+    auto rewrite = [&](const std::string &bytes) {
+        std::ofstream out(file,
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    };
+
+    // Flipped payload byte: checksum mismatch.
+    std::string corrupt = pristine;
+    corrupt[corrupt.size() - 5] ^= 0x40;
+    rewrite(corrupt);
+    EXPECT_FALSE(store.loadTrace("twolf", 0.02, w.prog));
+    EXPECT_FALSE(store.entries()[0].valid);
+
+    // Truncation: header says more payload than the file holds.
+    rewrite(pristine.substr(0, pristine.size() / 2));
+    EXPECT_FALSE(store.loadTrace("twolf", 0.02, w.prog));
+    EXPECT_FALSE(store.entries()[0].valid);
+
+    // Version skew: bump the u32 after the 8-byte magic.
+    std::string skew = pristine;
+    skew[8] = char(store::formatVersion + 1);
+    rewrite(skew);
+    EXPECT_FALSE(store.loadTrace("twolf", 0.02, w.prog));
+    EXPECT_FALSE(store.entries()[0].valid);
+
+    // Garbage and empty files.
+    rewrite("not a container at all");
+    EXPECT_FALSE(store.loadTrace("twolf", 0.02, w.prog));
+    rewrite("");
+    EXPECT_FALSE(store.loadTrace("twolf", 0.02, w.prog));
+
+    // Restored pristine bytes hit again.
+    rewrite(pristine);
+    EXPECT_TRUE(store.loadTrace("twolf", 0.02, w.prog));
+    EXPECT_TRUE(store.entries()[0].valid);
+}
+
+TEST_F(StoreTest, SweepCacheRebuildsOverACorruptStore)
+{
+    // Cold pass populates the store.
+    auto seed = std::make_shared<ArtifactStore>(_root);
+    driver::SweepCache cold;
+    cold.attachStore(seed);
+    auto ref = cold.traced("twolf", 0.02);
+    EXPECT_EQ(cold.tracesBuilt(), 1);
+
+    // Vandalize every entry.
+    for (const auto &e : seed->entries()) {
+        std::ofstream out(e.path,
+                          std::ios::binary | std::ios::trunc);
+        out << "vandalized";
+    }
+
+    // A fresh process-equivalent must rebuild and agree.
+    driver::SweepCache warm;
+    warm.attachStore(std::make_shared<ArtifactStore>(_root));
+    auto re = warm.traced("twolf", 0.02);
+    EXPECT_EQ(warm.tracesBuilt(), 1);
+    expectSameTrace(ref->trace, re->trace);
+}
+
+// --- Concurrency: same-key writers race benignly.
+
+TEST_F(StoreTest, ConcurrentSameKeyWritersLeaveOneValidEntry)
+{
+    Workload w = smallWorkload();
+    Trace t = traceOf(w);
+
+    constexpr int kWriters = 8;
+    std::vector<std::thread> pool;
+    for (int i = 0; i < kWriters; ++i) {
+        pool.emplace_back([&] {
+            ArtifactStore store(_root);
+            store.saveTrace("twolf", 0.02, w.prog, t);
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+
+    ArtifactStore store(_root);
+    auto entries = store.entries();
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_TRUE(entries[0].valid) << entries[0].error;
+    auto back = store.loadTrace("twolf", 0.02, w.prog);
+    ASSERT_TRUE(back);
+    expectSameTrace(t, *back);
+}
+
+// --- Cold vs warm: a second pipeline over a warm store performs
+// zero functional simulations and reproduces every artifact.
+
+TEST_F(StoreTest, WarmPipelineBuildsNothingAndMatchesCold)
+{
+    const std::vector<std::string> names = {"twolf", "mcf"};
+    const std::vector<SpawnPolicy> policies = {
+        SpawnPolicy::loop(), SpawnPolicy::postdoms()};
+
+    auto runAll = [&](driver::SweepCache &cache) {
+        std::vector<TimingResult> out;
+        for (const auto &n : names) {
+            Session s = Session::open(
+                n, 0.02,
+                std::shared_ptr<driver::SweepCache>(
+                    &cache, [](driver::SweepCache *) {}));
+            for (const auto &p : policies)
+                out.push_back(s.simulate(MachineConfig{}, p));
+        }
+        return out;
+    };
+
+    driver::SweepCache cold;
+    cold.attachStore(std::make_shared<ArtifactStore>(_root));
+    auto coldRes = runAll(cold);
+    EXPECT_EQ(cold.tracesBuilt(), int(names.size()));
+    EXPECT_EQ(cold.analysesBuilt(), int(names.size()));
+
+    driver::SweepCache warm;
+    warm.attachStore(std::make_shared<ArtifactStore>(_root));
+    auto warmRes = runAll(warm);
+    EXPECT_EQ(warm.tracesBuilt(), 0);
+    EXPECT_EQ(warm.analysesBuilt(), 0);
+    EXPECT_EQ(warm.hintTablesBuilt(), 0);
+
+    ASSERT_EQ(coldRes.size(), warmRes.size());
+    for (size_t i = 0; i < coldRes.size(); ++i) {
+        EXPECT_EQ(coldRes[i].cycles, warmRes[i].cycles) << i;
+        EXPECT_EQ(coldRes[i].instrs, warmRes[i].instrs) << i;
+        EXPECT_EQ(coldRes[i].spawns, warmRes[i].spawns) << i;
+        EXPECT_EQ(coldRes[i].violations, warmRes[i].violations)
+            << i;
+    }
+}
+
+// --- Maintenance surface (what tools/pf_cache drives).
+
+TEST_F(StoreTest, MaintenanceRemovesInvalidTrimsAndClears)
+{
+    Workload w = smallWorkload();
+    Trace t = traceOf(w);
+    SpawnAnalysis sa(*w.module, w.prog);
+
+    ArtifactStore store(_root);
+    ASSERT_TRUE(store.saveTrace("twolf", 0.02, w.prog, t));
+    ASSERT_TRUE(
+        store.saveAnalysisPoints("twolf", 0.02, w.prog, sa.points()));
+    ASSERT_EQ(store.entries().size(), 2u);
+
+    EXPECT_EQ(store.removeInvalid(), 0);
+
+    // Break one entry; removeInvalid drops exactly it.
+    {
+        std::ofstream out(store.entries()[0].path,
+                          std::ios::binary | std::ios::trunc);
+        out << "junk";
+    }
+    EXPECT_EQ(store.removeInvalid(), 1);
+    ASSERT_EQ(store.entries().size(), 1u);
+    EXPECT_TRUE(store.entries()[0].valid);
+
+    // trimToBytes(0) empties; clear() on empty is a no-op.
+    EXPECT_EQ(store.trimToBytes(0), 1);
+    EXPECT_EQ(store.entries().size(), 0u);
+    EXPECT_EQ(store.clear(), 0);
+}
+
+TEST(StoreEnv, OffDisablesTheStore)
+{
+    ::setenv("PF_CACHE_DIR", "off", 1);
+    EXPECT_EQ(ArtifactStore::openFromEnv(), nullptr);
+    ::setenv("PF_CACHE_DIR", "none", 1);
+    EXPECT_EQ(ArtifactStore::openFromEnv(), nullptr);
+    ::setenv("PF_CACHE_DIR", "0", 1);
+    EXPECT_EQ(ArtifactStore::openFromEnv(), nullptr);
+
+    auto dir = fs::temp_directory_path() / "pf-store-test-env";
+    fs::remove_all(dir);
+    ::setenv("PF_CACHE_DIR", dir.string().c_str(), 1);
+    auto store = ArtifactStore::openFromEnv();
+    ASSERT_NE(store, nullptr);
+    EXPECT_EQ(store->root(), dir);
+    ::setenv("PF_CACHE_DIR", "off", 1);
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace polyflow

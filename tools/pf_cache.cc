@@ -1,0 +1,151 @@
+/**
+ * @file
+ * pf_cache: inspect and maintain the persistent artifact store
+ * (store/artifact_store.hh).
+ *
+ * Usage:
+ *   pf_cache [--dir PATH] list            # every entry, with status
+ *   pf_cache [--dir PATH] verify          # validate; exit 1 on bad
+ *   pf_cache [--dir PATH] gc [--max-bytes N]
+ *                                         # drop invalid entries,
+ *                                         # then trim oldest to N
+ *   pf_cache [--dir PATH] purge           # delete every entry
+ *
+ * --dir defaults to $PF_CACHE_DIR, else ".pf-cache". All commands
+ * work on a store that other processes are concurrently writing:
+ * saves are atomic renames, so every file seen here is either a
+ * complete entry or garbage that gc/verify will flag.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "store/artifact_store.hh"
+
+using polyflow::store::ArtifactStore;
+using polyflow::store::EntryInfo;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *msg)
+{
+    if (msg)
+        std::fprintf(stderr, "pf_cache: %s\n", msg);
+    std::fprintf(stderr,
+                 "usage: pf_cache [--dir PATH] "
+                 "{list | verify | gc [--max-bytes N] | purge}\n");
+    std::exit(2);
+}
+
+const char *
+status(const EntryInfo &e)
+{
+    return e.valid ? "ok" : e.error.c_str();
+}
+
+int
+cmdList(ArtifactStore &store)
+{
+    auto entries = store.entries();
+    std::uintmax_t total = 0;
+    for (const EntryInfo &e : entries) {
+        total += e.fileBytes;
+        std::printf("%-10s %10ju  %-44s  %s\n",
+                    e.valid ? polyflow::store::artifactKindName(e.kind)
+                            : "?",
+                    e.fileBytes,
+                    e.key.empty() ? "-" : e.key.c_str(), status(e));
+    }
+    std::printf("%zu entries, %ju bytes in %s\n", entries.size(),
+                total, store.root().string().c_str());
+    return 0;
+}
+
+int
+cmdVerify(ArtifactStore &store)
+{
+    auto entries = store.entries();
+    int bad = 0;
+    for (const EntryInfo &e : entries) {
+        if (e.valid)
+            continue;
+        ++bad;
+        std::fprintf(stderr, "pf_cache: %s: %s\n",
+                     e.path.string().c_str(), e.error.c_str());
+    }
+    std::printf("%zu entries, %d invalid\n", entries.size(), bad);
+    return bad ? 1 : 0;
+}
+
+int
+cmdGc(ArtifactStore &store, std::uintmax_t maxBytes, bool haveMax)
+{
+    int invalid = store.removeInvalid();
+    int trimmed = haveMax ? store.trimToBytes(maxBytes) : 0;
+    std::printf("removed %d invalid, trimmed %d entries\n", invalid,
+                trimmed);
+    return 0;
+}
+
+int
+cmdPurge(ArtifactStore &store)
+{
+    std::printf("removed %d entries\n", store.clear());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string dir;
+    if (const char *env = std::getenv("PF_CACHE_DIR"))
+        dir = env;
+    if (dir.empty() || dir == "off" || dir == "none" || dir == "0")
+        dir = ArtifactStore::defaultDir();
+
+    std::string cmd;
+    std::uintmax_t maxBytes = 0;
+    bool haveMax = false;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage("missing value");
+            return argv[++i];
+        };
+        if (!std::strcmp(a, "--dir")) {
+            dir = value();
+        } else if (!std::strcmp(a, "--max-bytes")) {
+            char *end = nullptr;
+            maxBytes = std::strtoumax(value(), &end, 10);
+            if (!end || *end != '\0')
+                usage("--max-bytes: expected an integer");
+            haveMax = true;
+        } else if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) {
+            usage(nullptr);
+        } else if (cmd.empty()) {
+            cmd = a;
+        } else {
+            usage(("unknown argument: " + std::string(a)).c_str());
+        }
+    }
+    if (cmd.empty())
+        usage("missing command");
+
+    ArtifactStore store{dir};
+    if (cmd == "list")
+        return cmdList(store);
+    if (cmd == "verify")
+        return cmdVerify(store);
+    if (cmd == "gc")
+        return cmdGc(store, maxBytes, haveMax);
+    if (cmd == "purge")
+        return cmdPurge(store);
+    usage(("unknown command: " + cmd).c_str());
+}

@@ -60,30 +60,6 @@ usage(const char *msg)
     std::exit(2);
 }
 
-std::optional<driver::SourceSpec>
-specFor(const std::string &policy)
-{
-    if (policy == "superscalar")
-        return driver::SourceSpec::baseline();
-    if (policy == "loop")
-        return driver::SourceSpec::statics(SpawnPolicy::loop());
-    if (policy == "loopFT")
-        return driver::SourceSpec::statics(SpawnPolicy::loopFT());
-    if (policy == "procFT")
-        return driver::SourceSpec::statics(SpawnPolicy::procFT());
-    if (policy == "hammock")
-        return driver::SourceSpec::statics(SpawnPolicy::hammock());
-    if (policy == "other")
-        return driver::SourceSpec::statics(SpawnPolicy::other());
-    if (policy == "postdoms")
-        return driver::SourceSpec::statics(SpawnPolicy::postdoms());
-    if (policy == "rec_pred")
-        return driver::SourceSpec::recon();
-    if (policy == "dmt")
-        return driver::SourceSpec::dmt();
-    return std::nullopt;
-}
-
 Options
 parseArgs(int argc, char **argv)
 {
@@ -144,7 +120,7 @@ main(int argc, char **argv)
     std::vector<driver::SweepCell> cells;
     for (const std::string &w : opt.workloads) {
         for (const std::string &p : opt.policies) {
-            auto spec = specFor(p);
+            auto spec = driver::sourceSpecByName(p);
             if (!spec)
                 usage(("unknown policy: " + p).c_str());
             MachineConfig cfg = p == "superscalar"
@@ -172,7 +148,7 @@ main(int argc, char **argv)
 
     std::vector<stats::RunRecord> records;
     for (size_t i = 0; i < cells.size(); ++i) {
-        const SimResult &s = results[i].sim;
+        const TimingResult &s = results[i].sim;
         if (s.slotTotal() != s.cycles * s.issueWidth) {
             std::fprintf(stderr,
                          "pf_report: accounting identity violated "
