@@ -124,14 +124,14 @@ main(int argc, char **argv)
 
     size_t idx = 0;
     for (const std::string &wl : workloads) {
-        const SimResult &base = results[idx++].sim;
+        const TimingResult &base = results[idx++].sim;
         std::cout << "== workload " << wl
                   << " (superscalar IPC " << base.ipc() << ") ==\n\n";
         for (const Section &s : secs) {
             Table t({"config", "cycles", "IPC", "speedup%", "spawns",
                      "violations"});
             for (size_t k = 0; k < s.cfgs.size(); ++k) {
-                const SimResult &r = results[idx++].sim;
+                const TimingResult &r = results[idx++].sim;
                 t.startRow();
                 t.cell(s.cfgs[k].first);
                 t.cell((long long)r.cycles);

@@ -3,7 +3,7 @@
  * Shared plumbing for the figure-regeneration benches: scale and
  * job-count knobs plus the standard banner. The simulation grids
  * themselves run through the sweep engine (driver/sweep.hh) — no
- * bench loops over simulate() serially anymore.
+ * bench loops over runTiming() serially anymore.
  */
 
 #ifndef POLYFLOW_BENCH_BENCH_UTIL_HH
@@ -76,7 +76,7 @@ printCycleAttribution(const std::vector<driver::SweepCell> &cells,
     };
     std::vector<Agg> aggs;
     for (size_t i = 0; i < cells.size(); ++i) {
-        const SimResult &s = results[i].sim;
+        const TimingResult &s = results[i].sim;
         if (s.slotTotal() != s.cycles * s.issueWidth) {
             std::cerr << "cycle-accounting identity violated for "
                       << cells[i].workload << "/" << cells[i].label

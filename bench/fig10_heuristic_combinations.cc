@@ -48,11 +48,11 @@ main(int argc, char **argv)
     const size_t stride = 1 + policies.size();
     std::vector<std::vector<double>> columns(policies.size());
     for (size_t w = 0; w < names.size(); ++w) {
-        const SimResult &base = results[w * stride].sim;
+        const TimingResult &base = results[w * stride].sim;
         table.startRow();
         table.cell(names[w]);
         for (size_t i = 0; i < policies.size(); ++i) {
-            const SimResult &r = results[w * stride + 1 + i].sim;
+            const TimingResult &r = results[w * stride + 1 + i].sim;
             double s = r.speedupOver(base);
             columns[i].push_back(s);
             table.cell(s, 1);

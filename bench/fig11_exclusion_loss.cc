@@ -57,13 +57,13 @@ main(int argc, char **argv)
     const size_t stride = 2 + excluded.size();
     std::vector<std::vector<double>> columns(excluded.size());
     for (size_t w = 0; w < names.size(); ++w) {
-        const SimResult &base = results[w * stride].sim;
-        const SimResult &full = results[w * stride + 1].sim;
+        const TimingResult &base = results[w * stride].sim;
+        const TimingResult &full = results[w * stride + 1].sim;
         double fullSpeedup = full.speedupOver(base);
         table.startRow();
         table.cell(names[w]);
         for (size_t i = 0; i < excluded.size(); ++i) {
-            const SimResult &r = results[w * stride + 2 + i].sim;
+            const TimingResult &r = results[w * stride + 2 + i].sim;
             double loss = fullSpeedup - r.speedupOver(base);
             columns[i].push_back(loss);
             table.cell(loss, 1);

@@ -73,10 +73,10 @@ main(int argc, char **argv)
 
     const size_t stride = 3;
     for (size_t w = 0; w < names.size(); ++w) {
-        const SimResult &base = results[w * stride].sim;
+        const TimingResult &base = results[w * stride].sim;
         const driver::CellResult &recCell =
             results[w * stride + 1];
-        const SimResult &pd = results[w * stride + 2].sim;
+        const TimingResult &pd = results[w * stride + 2].sim;
 
         // Predictor fidelity vs static analysis, over the branches
         // it saw.

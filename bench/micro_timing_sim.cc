@@ -13,6 +13,7 @@
 #include <fstream>
 
 #include "bench_util.hh"
+#include "polyflow.hh"
 
 using namespace polyflow;
 using namespace polyflow::bench;
@@ -80,6 +81,49 @@ main(int argc, char **argv)
     double meanRate = rows ? sumRate / rows : 0.0;
     std::cout << "\nmean timing-sim throughput: " << meanRate
               << " simulated instrs/sec\n";
+
+    // Per-stage breakdown: one profiled run per (workload, config),
+    // reporting each stage module's share of simulator wall time.
+    // Profiled runs pay for the timestamping, so they are separate
+    // from the throughput grid above.
+    std::cout << "\nper-stage share of simulator time (%):\n";
+    Table bt({"workload", "config", "commit", "account", "divert",
+              "issue", "rename", "fetch", "recover"});
+    for (const std::string &wl : workloads) {
+        Session s = Session::open(wl, scale);
+        for (const char *label : {"superscalar", "postdoms"}) {
+            bool pf = std::string(label) == "postdoms";
+            std::unique_ptr<StaticSpawnSource> src;
+            if (pf) {
+                src = std::make_unique<StaticSpawnSource>(
+                    *s.hints(SpawnPolicy::postdoms()));
+            }
+            TimingSim sim(pf ? MachineConfig{}
+                             : MachineConfig::superscalar(),
+                          s.trace(), src.get());
+            StageProfile prof;
+            sim.profileStages(&prof);
+            sim.run(label);
+            const double total = double(
+                prof.commitNs + prof.accountingNs + prof.divertNs +
+                prof.issueNs + prof.renameNs + prof.fetchNs +
+                prof.recoveryNs);
+            auto pct = [&](std::uint64_t ns) {
+                return total > 0 ? 100.0 * double(ns) / total : 0.0;
+            };
+            bt.startRow();
+            bt.cell(wl);
+            bt.cell(std::string(label));
+            bt.cell(pct(prof.commitNs), 1);
+            bt.cell(pct(prof.accountingNs), 1);
+            bt.cell(pct(prof.divertNs), 1);
+            bt.cell(pct(prof.issueNs), 1);
+            bt.cell(pct(prof.renameNs), 1);
+            bt.cell(pct(prof.fetchNs), 1);
+            bt.cell(pct(prof.recoveryNs), 1);
+        }
+    }
+    bt.print(std::cout);
 
     std::filesystem::create_directories("results");
     std::ofstream out("results/micro_timing_sim.txt");

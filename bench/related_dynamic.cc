@@ -45,7 +45,7 @@ main(int argc, char **argv)
 
     const size_t stride = 4;
     for (size_t w = 0; w < names.size(); ++w) {
-        const SimResult &base = results[w * stride].sim;
+        const TimingResult &base = results[w * stride].sim;
         t.startRow();
         t.cell(names[w]);
         double d = results[w * stride + 1].sim.speedupOver(base);

@@ -21,10 +21,7 @@
 #include "asm/assembler.hh"
 #include "ir/transforms.hh"
 #include "ir/printer.hh"
-#include "isa/functional_sim.hh"
-#include "sim/core.hh"
-#include "spawn/policy.hh"
-#include "spawn/spawn_analysis.hh"
+#include "polyflow.hh"
 
 using namespace polyflow;
 
@@ -82,7 +79,7 @@ main(int argc, char **argv)
     if (disasm)
         disassemble(std::cout, prog);
 
-    FuncSimOptions opt;
+    FunctionalOptions opt;
     opt.recordTrace = sim || traceStats;
     auto r = runFunctional(prog, opt);
     std::cout << (r.halted ? "halted" : "instruction cap hit")
@@ -107,13 +104,13 @@ main(int argc, char **argv)
                   << " taken), memory ops: " << mem << "\n";
     }
     if (sim && r.trace.size() > 0) {
-        SimResult ss = simulate(MachineConfig::superscalar(),
+        TimingResult ss = runTiming(MachineConfig::superscalar(),
                                 r.trace, nullptr, "superscalar");
         SpawnAnalysis sa(*mod, prog);
         StaticSpawnSource srcTab{
             HintTable(sa, SpawnPolicy::postdoms())};
-        SimResult pf =
-            simulate(MachineConfig{}, r.trace, &srcTab, "postdoms");
+        TimingResult pf =
+            runTiming(MachineConfig{}, r.trace, &srcTab, "postdoms");
         std::cout << "  superscalar: " << ss.cycles << " cycles (IPC "
                   << ss.ipc() << ")\n"
                   << "  PolyFlow:    " << pf.cycles << " cycles (IPC "

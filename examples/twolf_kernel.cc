@@ -10,11 +10,7 @@
 
 #include <iostream>
 
-#include "isa/functional_sim.hh"
-#include "sim/core.hh"
-#include "spawn/policy.hh"
-#include "spawn/spawn_analysis.hh"
-#include "workloads/workloads.hh"
+#include "polyflow.hh"
 
 using namespace polyflow;
 
@@ -26,7 +22,7 @@ main()
     std::cout << "twolf new_dbox_a case study (paper Section 2.3)\n\n";
 
     Workload w = buildWorkload("twolf", 0.25);
-    FuncSimOptions opt;
+    FunctionalOptions opt;
     opt.recordTrace = true;
     auto fr = runFunctional(w.prog, opt);
 
@@ -42,7 +38,7 @@ main()
                  "spawns, and the outer-loop iteration spawn by the "
                  "inner loop's\nfall-through spawn.\n\n";
 
-    SimResult base = simulate(MachineConfig::superscalar(), fr.trace,
+    TimingResult base = runTiming(MachineConfig::superscalar(), fr.trace,
                               nullptr, "superscalar");
     std::cout << "superscalar: IPC " << base.ipc() << "\n\n";
 
@@ -50,7 +46,7 @@ main()
          {SpawnPolicy::loop(), SpawnPolicy::loopFT(),
           SpawnPolicy::hammock(), SpawnPolicy::postdoms()}) {
         StaticSpawnSource src{HintTable(sa, pol)};
-        SimResult r = simulate(MachineConfig{}, fr.trace, &src,
+        TimingResult r = runTiming(MachineConfig{}, fr.trace, &src,
                                pol.name);
         std::cout << pol.name << ": speedup "
                   << r.speedupOver(base) << "%, spawns " << r.spawns

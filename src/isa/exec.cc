@@ -26,11 +26,22 @@ step(const LinkedInstr &li, ArchState &st)
         int shift = 64 - 8 * bytes;
         return std::int64_t(v << shift) >> shift;
     };
+    // Wrap-around two's-complement arithmetic: compute in unsigned
+    // (where overflow is defined) and cast back.
+    auto addW = [](std::int64_t a, std::int64_t b) {
+        return std::int64_t(std::uint64_t(a) + std::uint64_t(b));
+    };
+    auto subW = [](std::int64_t a, std::int64_t b) {
+        return std::int64_t(std::uint64_t(a) - std::uint64_t(b));
+    };
+    auto mulW = [](std::int64_t a, std::int64_t b) {
+        return std::int64_t(std::uint64_t(a) * std::uint64_t(b));
+    };
 
     switch (in.op) {
-      case Opcode::ADD: wr(rs1() + rs2()); break;
-      case Opcode::SUB: wr(rs1() - rs2()); break;
-      case Opcode::MUL: wr(rs1() * rs2()); break;
+      case Opcode::ADD: wr(addW(rs1(), rs2())); break;
+      case Opcode::SUB: wr(subW(rs1(), rs2())); break;
+      case Opcode::MUL: wr(mulW(rs1(), rs2())); break;
       case Opcode::DIVU:
         wr(u2() == 0 ? -1 : std::int64_t(u1() / u2()));
         break;
@@ -46,7 +57,7 @@ step(const LinkedInstr &li, ArchState &st)
       case Opcode::SLT: wr(rs1() < rs2() ? 1 : 0); break;
       case Opcode::SLTU: wr(u1() < u2() ? 1 : 0); break;
 
-      case Opcode::ADDI: wr(rs1() + in.imm); break;
+      case Opcode::ADDI: wr(addW(rs1(), in.imm)); break;
       case Opcode::ANDI: wr(rs1() & in.imm); break;
       case Opcode::ORI: wr(rs1() | in.imm); break;
       case Opcode::XORI: wr(rs1() ^ in.imm); break;
@@ -59,7 +70,7 @@ step(const LinkedInstr &li, ArchState &st)
       case Opcode::LB: case Opcode::LBU: case Opcode::LH:
       case Opcode::LHU: case Opcode::LW: case Opcode::LWU:
       case Opcode::LD: {
-        Addr a = Addr(rs1() + in.imm);
+        Addr a = Addr(addW(rs1(), in.imm));
         out.effAddr = a;
         std::uint64_t v = st.readMem(a, in.memBytes());
         wr(in.loadSigned() ? signExtend(v, in.memBytes())
@@ -69,7 +80,7 @@ step(const LinkedInstr &li, ArchState &st)
 
       case Opcode::SB: case Opcode::SH: case Opcode::SW:
       case Opcode::SD: {
-        Addr a = Addr(rs1() + in.imm);
+        Addr a = Addr(addW(rs1(), in.imm));
         out.effAddr = a;
         st.writeMem(a, std::uint64_t(rs2()), in.memBytes());
         break;

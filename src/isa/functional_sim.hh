@@ -17,9 +17,7 @@
 
 namespace polyflow {
 
-/** Result of a functional run.
- *  (Known as FuncSimResult before the PR-3 API normalization; the
- *  old name survives as a deprecated alias below.) */
+/** Result of a functional run. */
 struct FunctionalResult
 {
     /** Committed trace (empty unless recording was requested). */
@@ -60,16 +58,6 @@ struct FunctionalOptions
  */
 FunctionalResult runFunctional(const LinkedProgram &prog,
                                const FunctionalOptions &options = {});
-
-/**
- * @name Deprecated pre-normalization aliases
- * Kept for one PR so benches and tests can migrate incrementally to
- * the FunctionalResult / TimingResult pairing (docs/API.md).
- * @{
- */
-using FuncSimResult = FunctionalResult;
-using FuncSimOptions = FunctionalOptions;
-/** @} */
 
 } // namespace polyflow
 

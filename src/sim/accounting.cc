@@ -1,0 +1,85 @@
+#include "sim/accounting.hh"
+
+namespace polyflow::sim {
+
+void
+accountCycle(MachineState &m)
+{
+    m.res.slots[static_cast<int>(SlotBucket::Committed)] +=
+        std::uint64_t(m.cycleCommits);
+    int empty = m.cfg.pipelineWidth - m.cycleCommits;
+    if (empty > 0)
+        m.res.slots[static_cast<int>(blameBucket(m))] +=
+            std::uint64_t(empty);
+}
+
+SlotBucket
+stallBucket(const Task &t)
+{
+    switch (t.lastFetchStall) {
+      case FetchStall::Mispredict:
+        return SlotBucket::FetchMispredict;
+      case FetchStall::ICache:
+        return SlotBucket::FetchICache;
+      case FetchStall::Squash:
+        return SlotBucket::SquashRefetch;
+      case FetchStall::None:
+      case FetchStall::SpawnStartup:
+        break;
+    }
+    return SlotBucket::NoTask;
+}
+
+SlotBucket
+blameBucket(const MachineState &m)
+{
+    // Head-of-ROB blame: whatever keeps the oldest uncommitted
+    // instruction from committing owns every empty slot this cycle.
+    TraceIdx i = m.commitIdx;
+    const InstrState &s = m.istate[i];
+    const Task &t = m.tasks.front();
+    switch (s.stage) {
+      case InstrStage::Issued:
+      case InstrStage::InSched:
+        // In the backend, waiting on operands or exec/memory
+        // latency.
+        return SlotBucket::Drain;
+      case InstrStage::Diverted:
+        return SlotBucket::DivertWait;
+      case InstrStage::Fetched:
+        // In the fetch queue, rename stalled. Mirror the rename
+        // stage's stall conditions for the head task (position 0).
+        if (s.fetchCycle + m.cfg.frontendDepth > m.now) {
+            // Frontend refill after a redirect/stall is part of
+            // that stall's cost.
+            return stallBucket(t);
+        }
+        if (!m.robAllowed(0))
+            return SlotBucket::RobFull;
+        if (m.divertHolds(i, m.trace->instrs[i], t)) {
+            if (static_cast<int>(m.divert.size()) >=
+                m.cfg.divertEntries) {
+                return SlotBucket::DivertWait;
+            }
+            // Rename ran before the wake-up condition flipped;
+            // transient, uncommon.
+            return SlotBucket::NoTask;
+        }
+        if (static_cast<int>(m.sched.size()) >= m.cfg.schedEntries)
+            return SlotBucket::SchedulerFull;
+        return SlotBucket::NoTask;
+      case InstrStage::None:
+        // Not even fetched yet.
+        if (t.blockedOnBranch != invalidTrace)
+            return SlotBucket::FetchMispredict;
+        if (t.fetchReady > m.now)
+            return stallBucket(t);
+        // Fetch bandwidth went to other tasks, or cold start.
+        return SlotBucket::NoTask;
+      case InstrStage::Committed:
+        break;  // unreachable: i is the oldest *uncommitted* instr
+    }
+    return SlotBucket::NoTask;
+}
+
+} // namespace polyflow::sim

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Per-cycle issue-slot accounting (the PR-2 observability layer),
+ * attached to the pipeline through MachineState rather than the
+ * simulator's internals: every bucket decision is a pure function of
+ * the machine state right after the commit stage ran.
+ *
+ * The taxonomy and the blame decision tree are documented in
+ * docs/OBSERVABILITY.md; the permanently enforced identity is
+ *
+ *     sum(MachineState::res.slots) == cycles * issueWidth
+ */
+
+#ifndef POLYFLOW_SIM_ACCOUNTING_HH
+#define POLYFLOW_SIM_ACCOUNTING_HH
+
+#include "sim/machine_state.hh"
+
+namespace polyflow::sim {
+
+/**
+ * Attribute this cycle's pipelineWidth issue slots: commits fill
+ * Committed, the rest go to blameBucket(). Call once per counted
+ * cycle, right after the commit stage.
+ */
+void accountCycle(MachineState &m);
+
+/** Why the oldest uncommitted instruction did not commit. */
+SlotBucket blameBucket(const MachineState &m);
+
+/** Map a task's recorded fetch stall to its bucket. */
+SlotBucket stallBucket(const Task &t);
+
+} // namespace polyflow::sim
+
+#endif // POLYFLOW_SIM_ACCOUNTING_HH

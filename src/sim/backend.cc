@@ -1,0 +1,141 @@
+#include "sim/backend.hh"
+
+#include <algorithm>
+
+namespace polyflow::sim {
+
+void
+Backend::releaseDiverted(MachineState &m)
+{
+    int budget = m.cfg.pipelineWidth;
+    for (auto it = m.divert.begin();
+         it != m.divert.end() && budget > 0;) {
+        TraceIdx i = it->idx;
+        if (m.istate[i].stage != InstrStage::Diverted) {
+            it = m.divert.erase(it);  // squashed while diverted
+            continue;
+        }
+        size_t pos = m.taskPosOf(i);
+        Task &t = m.tasks[pos];
+        const DynInstr &d = m.trace->instrs[i];
+
+        if (m.divertHolds(i, d, t)) {
+            it->readyAt = 0;  // wake-up condition not met (yet)
+            ++it;
+            continue;
+        }
+        // Condition holds: model the FIFO re-dispatch latency. The
+        // ROB entry was already allocated when the instruction
+        // entered the divert queue (holding it there is what makes
+        // in-order commit deadlock-free; see DESIGN.md).
+        if (it->readyAt == 0)
+            it->readyAt = m.now + m.cfg.divertReleaseDelay;
+        if (m.now >= it->readyAt &&
+            static_cast<int>(m.sched.size()) <
+                m.cfg.schedEntries) {
+            m.istate[i].stage = InstrStage::InSched;
+            m.sched.push_back(i);
+            --budget;
+            it = m.divert.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Backend::issue(MachineState &m)
+{
+    std::sort(m.sched.begin(), m.sched.end());
+    int fu = m.cfg.numFUs;
+    for (auto it = m.sched.begin();
+         it != m.sched.end() && fu > 0;) {
+        TraceIdx i = *it;
+        InstrState &s = m.istate[i];
+        if (s.stage != InstrStage::InSched) {
+            it = m.sched.erase(it);  // squashed while scheduled
+            continue;
+        }
+        const DynInstr &d = m.trace->instrs[i];
+        const LinkedInstr &li = m.staticOf(i);
+        Task *t = m.taskOf(i);
+
+        // Register operands: synchronized producers must be
+        // complete; an unsynchronized (unpredicted) cross-task
+        // producer lets the consumer issue with a stale value,
+        // which is a dependence violation.
+        bool ready = true;
+        bool staleRegRead = false;
+        RegId srcs[2];
+        int nsrc = li.instr.srcRegs(srcs);
+        for (int k = 0; k < nsrc; ++k) {
+            TraceIdx p = d.prod[k];
+            if (p == invalidTrace || m.doneAt(p, m.now))
+                continue;
+            bool same_task = t && p >= t->begin;
+            bool hinted = t && m.cfg.compilerDepHints &&
+                ((t->depMask >> srcs[k]) & 1);
+            if (same_task || hinted ||
+                m.depPred.predictsRegDep(d.img)) {
+                ready = false;
+            } else {
+                staleRegRead = true;
+            }
+        }
+
+        // Memory ordering for loads.
+        bool speculativeLoad = false;
+        if (ready && li.instr.isLoad() &&
+            d.memProd != invalidTrace &&
+            m.istate[d.memProd].stage != InstrStage::Committed) {
+            if (t && m.loadSyncNeeded(i, d, *t)) {
+                if (!m.doneAt(d.memProd, m.now))
+                    ready = false;
+            } else if (!m.doneAt(d.memProd, m.now)) {
+                // Unsynchronized cross-task load issuing before the
+                // conflicting store has produced its data.
+                speculativeLoad = true;
+            }
+        }
+
+        if (!ready) {
+            ++it;
+            continue;
+        }
+        if (staleRegRead)
+            m.pendingViolations.push_back({i, invalidTrace});
+
+        // Issue.
+        s.stage = InstrStage::Issued;
+        if (li.instr.isLoad()) {
+            int lat = m.hier.accessData(d.effAddr);
+            s.completeCycle = m.now + m.cfg.loadLatency + (lat - 1);
+        } else if (li.instr.isStore()) {
+            m.hier.accessData(d.effAddr);
+            s.completeCycle = m.now + 1;
+            // A store executing after dependent cross-task loads
+            // have already issued is a dependence violation.
+            if (m.index) {
+                Task *st = m.taskOf(i);
+                for (TraceIdx l : m.index->consumersOf(i)) {
+                    if (m.istate[l].stage == InstrStage::Issued &&
+                        (!st || l >= st->end)) {
+                        m.pendingViolations.push_back({l, i});
+                    }
+                }
+            }
+        } else {
+            s.completeCycle = m.now + m.execLatency(li);
+        }
+        if (speculativeLoad &&
+            m.istate[d.memProd].stage == InstrStage::Issued &&
+            m.istate[d.memProd].completeCycle > m.now) {
+            // Load read stale data while the store is in flight.
+            m.pendingViolations.push_back({i, d.memProd});
+        }
+        it = m.sched.erase(it);
+        --fu;
+    }
+}
+
+} // namespace polyflow::sim

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Backend stage: divert-queue release, scheduler wakeup/select,
+ * functional units and the data-side memory hierarchy. Detects
+ * cross-task dependence violations at issue and queues them for the
+ * recovery stage.
+ */
+
+#ifndef POLYFLOW_SIM_BACKEND_HH
+#define POLYFLOW_SIM_BACKEND_HH
+
+#include "sim/machine_state.hh"
+
+namespace polyflow::sim {
+
+class Backend
+{
+  public:
+    /**
+     * Re-dispatch diverted instructions whose wake-up condition
+     * holds (producer renamed/issued), modelling the FIFO
+     * re-dispatch latency, into the scheduler.
+     */
+    void releaseDiverted(MachineState &m);
+
+    /**
+     * Issue ready scheduler entries to the FUs, oldest first.
+     * Unsynchronized cross-task consumers may issue with a stale
+     * value — those, and stores that execute after dependent
+     * cross-task loads already issued, queue dependence violations
+     * for the recovery stage.
+     */
+    void issue(MachineState &m);
+};
+
+} // namespace polyflow::sim
+
+#endif // POLYFLOW_SIM_BACKEND_HH

@@ -1,0 +1,90 @@
+#include "sim/commit.hh"
+
+#include <algorithm>
+
+namespace polyflow::sim {
+
+void
+Commit::unblock(MachineState &m)
+{
+    for (Task &t : m.tasks) {
+        if (t.blockedOnBranch == invalidTrace)
+            continue;
+        TraceIdx b = t.blockedOnBranch;
+        const InstrState &s = m.istate[b];
+        bool resolved = s.stage == InstrStage::Committed ||
+            (s.stage == InstrStage::Issued &&
+             s.completeCycle <= m.now);
+        if (resolved) {
+            std::uint64_t resume = std::max(
+                s.fetchCycle + m.cfg.minMispredictPenalty,
+                std::max(s.completeCycle, m.now) + 1);
+            t.fetchReady = std::max(t.fetchReady, resume);
+            t.blockedOnBranch = invalidTrace;
+            t.lastFetchStall = FetchStall::Mispredict;
+            t.curFetchLine = invalidAddr;  // redirected fetch
+        }
+    }
+}
+
+void
+Commit::step(MachineState &m)
+{
+    int n = 0;
+    while (n < m.cfg.pipelineWidth &&
+           m.commitIdx < m.trace->size()) {
+        InstrState &s = m.istate[m.commitIdx];
+        if (s.stage != InstrStage::Issued ||
+            s.completeCycle > m.now) {
+            break;
+        }
+        s.stage = InstrStage::Committed;
+        if (m.source) {
+            m.source->onCommit(m.staticOf(m.commitIdx),
+                               m.trace->instrs[m.commitIdx].taken);
+        }
+        Task &head = m.tasks.front();
+        --head.robHeld;
+        --head.inflight;
+        --m.robUsed;
+        ++m.commitIdx;
+        ++n;
+        if (m.commitIdx == head.end)
+            retireHead(m);
+    }
+    m.cycleCommits = n;
+}
+
+void
+Commit::retireHead(MachineState &m)
+{
+    ++m.res.tasksRetired;
+    const Task &t = m.tasks.front();
+    if (m.events) {
+        m.events->push_back({TaskEvent::Kind::Retire, m.now,
+                             t.begin, t.end, t.triggerPc,
+                             m.commitIdx, t.divertedCount});
+    }
+    // Profitability feedback (paper Section 3.1): a task most of
+    // whose instructions had to synchronize on older tasks added
+    // overhead without overlap; stop spawning from triggers that
+    // keep producing such tasks.
+    if (m.cfg.spawnFeedback && t.triggerPc != invalidAddr) {
+        TriggerFeedback &fb = m.feedbackOf(t);
+        std::uint64_t size = t.end - t.begin;
+        if (t.divertedCount * 100 >=
+            size * std::uint64_t(m.cfg.feedbackDivertPercent)) {
+            ++fb.unprofitable;
+        } else {
+            ++fb.profitable;
+        }
+        if (fb.unprofitable >= m.cfg.feedbackMinUnprofitable &&
+            fb.unprofitable >= 2 * fb.profitable && !fb.disabled) {
+            fb.disabled = true;
+            ++m.res.triggersDisabled;
+        }
+    }
+    m.tasks.erase(m.tasks.begin());
+}
+
+} // namespace polyflow::sim

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Commit stage: in-order retirement of the head task, branch-stall
+ * release, task retirement with profitability feedback.
+ */
+
+#ifndef POLYFLOW_SIM_COMMIT_HH
+#define POLYFLOW_SIM_COMMIT_HH
+
+#include "sim/machine_state.hh"
+
+namespace polyflow::sim {
+
+class Commit
+{
+  public:
+    /**
+     * Release tasks whose blocking branch resolved: fetch resumes
+     * after the mispredict penalty, charged to the Mispredict stall
+     * cause. Runs first each cycle so commit sees fresh state.
+     */
+    void unblock(MachineState &m);
+
+    /**
+     * Commit up to pipelineWidth instructions of the head task in
+     * trace order; a fully committed task retires its context.
+     * Leaves the cycle's commit count in MachineState::cycleCommits
+     * for the accounting layer.
+     */
+    void step(MachineState &m);
+
+  private:
+    void retireHead(MachineState &m);
+};
+
+} // namespace polyflow::sim
+
+#endif // POLYFLOW_SIM_COMMIT_HH

@@ -1,776 +1,44 @@
 #include "sim/core.hh"
 
-#include <algorithm>
+#include <chrono>
 #include <stdexcept>
-#include <string>
+
+#include "sim/accounting.hh"
 
 namespace polyflow {
+
+namespace {
+
+/** Accumulates the scope's wall time into *slot when non-null. */
+class ScopedNs
+{
+  public:
+    explicit ScopedNs(std::uint64_t *slot) : _slot(slot)
+    {
+        if (_slot)
+            _t0 = std::chrono::steady_clock::now();
+    }
+    ~ScopedNs()
+    {
+        if (_slot) {
+            *_slot += std::uint64_t(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - _t0)
+                    .count());
+        }
+    }
+  private:
+    std::uint64_t *_slot;
+    std::chrono::steady_clock::time_point _t0;
+};
+
+} // namespace
 
 TimingSim::TimingSim(const MachineConfig &config, const Trace &trace,
                      SpawnSource *source,
                      const TraceIndex *sharedIndex)
-    : _cfg(config), _trace(&trace), _source(source), _hier(config),
-      _gshare(config)
+    : _m(config, trace, source, sharedIndex)
 {
-    if (trace.size() == 0)
-        throw std::runtime_error("TimingSim: empty trace");
-    _state.resize(trace.size());
-
-    if (_source) {
-        if (sharedIndex) {
-            _index = sharedIndex;
-        } else {
-            _ownedIndex = std::make_unique<TraceIndex>(trace);
-            _index = _ownedIndex.get();
-        }
-    }
-
-    Task t0;
-    t0.begin = 0;
-    t0.end = static_cast<TraceIdx>(trace.size());
-    t0.ras = ReturnAddressStack(config.returnStackEntries);
-    // Reserve so that spawning inside fetchPhase never reallocates
-    // while a Task reference is live.
-    _tasks.reserve(size_t(config.numTasks) + 1);
-    _tasks.push_back(std::move(t0));
-}
-
-TimingSim::Task *
-TimingSim::taskOf(TraceIdx i)
-{
-    // Tasks carve disjoint ranges out of the trace and stay sorted
-    // by begin (spawns only split a task's own tail), so the owner
-    // is the last task starting at or before i.
-    auto it = std::upper_bound(
-        _tasks.begin(), _tasks.end(), i,
-        [](TraceIdx v, const Task &t) { return v < t.begin; });
-    if (it == _tasks.begin())
-        return nullptr;
-    --it;
-    return i < it->end ? &*it : nullptr;
-}
-
-size_t
-TimingSim::taskPosOf(TraceIdx i) const
-{
-    auto it = std::upper_bound(
-        _tasks.begin(), _tasks.end(), i,
-        [](TraceIdx v, const Task &t) { return v < t.begin; });
-    if (it != _tasks.begin()) {
-        --it;
-        if (i < it->end)
-            return static_cast<size_t>(it - _tasks.begin());
-    }
-    throw std::runtime_error("taskPosOf: index not in any task");
-}
-
-bool
-TimingSim::robAllowed(size_t taskPos) const
-{
-    // Younger tasks leave headroom so the head task can always make
-    // progress toward in-order commit (deadlock freedom; DESIGN.md).
-    int reserve =
-        _cfg.robReservePerOlderTask * static_cast<int>(taskPos);
-    return _robUsed < _cfg.robEntries - reserve;
-}
-
-int
-TimingSim::execLatency(const LinkedInstr &li) const
-{
-    switch (li.instr.op) {
-      case Opcode::MUL:
-        return _cfg.mulLatency;
-      case Opcode::DIVU:
-      case Opcode::REMU:
-        return _cfg.divLatency;
-      default:
-        return _cfg.intLatency;
-    }
-}
-
-bool
-TimingSim::divertHolds(TraceIdx i, const DynInstr &d,
-                       const Task &t) const
-{
-    // An instruction synchronizes (stays diverted) while a producer
-    // it is predicted to depend on has not been renamed yet.
-    // Same-task producers are always synchronized: in-order rename
-    // has seen them, and following them into the divert queue keeps
-    // the scheduler free of entries that could never wake up
-    // (deadlock freedom; see DESIGN.md). Cross-task register
-    // producers are synchronized only when the rename-stage
-    // dependence predictor says so; otherwise the consumer
-    // speculates and may trigger a violation at issue.
-    const LinkedInstr &li = staticOf(i);
-    RegId srcs[2];
-    int nsrc = li.instr.srcRegs(srcs);
-    for (int k = 0; k < nsrc; ++k) {
-        TraceIdx p = d.prod[k];
-        if (p == invalidTrace)
-            continue;
-        bool same_task = p >= t.begin;
-        if (same_task) {
-            // Same-task values flow through the scheduler normally;
-            // divert only while the producer is not yet renamed
-            // (it may itself sit in the divert queue).
-            if (_state[p].stage < Stage::InSched)
-                return true;
-            continue;
-        }
-        bool hinted = _cfg.compilerDepHints &&
-            ((t.depMask >> srcs[k]) & 1);
-        if ((hinted || _regPred.predictsDependence(li.addr)) &&
-            _state[p].stage < Stage::Issued) {
-            // Synchronized consumers re-enter rename once the
-            // producer has issued ("some time after its producer
-            // has been dispatched", paper Section 3.1); the
-            // scheduler's normal wakeup covers the rest.
-            return true;
-        }
-    }
-    if (loadSyncNeeded(i, d, t) && !doneAt(d.memProd, _now))
-        return true;
-    return false;
-}
-
-bool
-TimingSim::loadSyncNeeded(TraceIdx i, const DynInstr &d,
-                          const Task &t) const
-{
-    if (!staticOf(i).instr.isLoad() || d.memProd == invalidTrace)
-        return false;
-    if (_state[d.memProd].stage == Stage::Committed)
-        return false;
-    bool same_task = d.memProd >= t.begin;
-    return same_task ||
-        _storeSets.predictsDependence(staticOf(i).addr);
-}
-
-void
-TimingSim::unblockTasks()
-{
-    for (Task &t : _tasks) {
-        if (t.blockedOnBranch == invalidTrace)
-            continue;
-        TraceIdx b = t.blockedOnBranch;
-        const InstrState &s = _state[b];
-        bool resolved = s.stage == Stage::Committed ||
-            (s.stage == Stage::Issued && s.completeCycle <= _now);
-        if (resolved) {
-            std::uint64_t resume = std::max(
-                s.fetchCycle + _cfg.minMispredictPenalty,
-                std::max(s.completeCycle, _now) + 1);
-            t.fetchReady = std::max(t.fetchReady, resume);
-            t.blockedOnBranch = invalidTrace;
-            t.lastFetchStall = FetchStall::Mispredict;
-            t.curFetchLine = invalidAddr;  // redirected fetch
-        }
-    }
-}
-
-void
-TimingSim::accountCycle()
-{
-    _res.slots[static_cast<int>(SlotBucket::Committed)] +=
-        std::uint64_t(_cycleCommits);
-    int empty = _cfg.pipelineWidth - _cycleCommits;
-    if (empty > 0)
-        _res.slots[static_cast<int>(blameBucket())] +=
-            std::uint64_t(empty);
-}
-
-SlotBucket
-TimingSim::stallBucket(const Task &t)
-{
-    switch (t.lastFetchStall) {
-      case FetchStall::Mispredict:
-        return SlotBucket::FetchMispredict;
-      case FetchStall::ICache:
-        return SlotBucket::FetchICache;
-      case FetchStall::Squash:
-        return SlotBucket::SquashRefetch;
-      case FetchStall::None:
-      case FetchStall::SpawnStartup:
-        break;
-    }
-    return SlotBucket::NoTask;
-}
-
-SlotBucket
-TimingSim::blameBucket() const
-{
-    // Head-of-ROB blame: whatever keeps the oldest uncommitted
-    // instruction from committing owns every empty slot this cycle.
-    TraceIdx i = _commitIdx;
-    const InstrState &s = _state[i];
-    const Task &t = _tasks.front();
-    switch (s.stage) {
-      case Stage::Issued:
-      case Stage::InSched:
-        // In the backend, waiting on operands or exec/memory
-        // latency.
-        return SlotBucket::Drain;
-      case Stage::Diverted:
-        return SlotBucket::DivertWait;
-      case Stage::Fetched:
-        // In the fetch queue, rename stalled. Mirror renamePhase's
-        // stall conditions for the head task (position 0).
-        if (s.fetchCycle + _cfg.frontendDepth > _now) {
-            // Frontend refill after a redirect/stall is part of
-            // that stall's cost.
-            return stallBucket(t);
-        }
-        if (!robAllowed(0))
-            return SlotBucket::RobFull;
-        if (divertHolds(i, _trace->instrs[i], t)) {
-            if (static_cast<int>(_divert.size()) >=
-                _cfg.divertEntries) {
-                return SlotBucket::DivertWait;
-            }
-            // Rename ran before the wake-up condition flipped;
-            // transient, uncommon.
-            return SlotBucket::NoTask;
-        }
-        if (static_cast<int>(_sched.size()) >= _cfg.schedEntries)
-            return SlotBucket::SchedulerFull;
-        return SlotBucket::NoTask;
-      case Stage::None:
-        // Not even fetched yet.
-        if (t.blockedOnBranch != invalidTrace)
-            return SlotBucket::FetchMispredict;
-        if (t.fetchReady > _now)
-            return stallBucket(t);
-        // Fetch bandwidth went to other tasks, or cold start.
-        return SlotBucket::NoTask;
-      case Stage::Committed:
-        break;  // unreachable: i is the oldest *uncommitted* instr
-    }
-    return SlotBucket::NoTask;
-}
-
-void
-TimingSim::commitPhase()
-{
-    int n = 0;
-    while (n < _cfg.pipelineWidth &&
-           _commitIdx < _trace->size()) {
-        InstrState &s = _state[_commitIdx];
-        if (s.stage != Stage::Issued || s.completeCycle > _now)
-            break;
-        s.stage = Stage::Committed;
-        if (_source) {
-            _source->onCommit(staticOf(_commitIdx),
-                              _trace->instrs[_commitIdx].taken);
-        }
-        Task &head = _tasks.front();
-        --head.robHeld;
-        --head.inflight;
-        --_robUsed;
-        ++_commitIdx;
-        ++n;
-        if (_commitIdx == head.end)
-            retireHead();
-    }
-    _cycleCommits = n;
-}
-
-void
-TimingSim::retireHead()
-{
-    ++_res.tasksRetired;
-    const Task &t = _tasks.front();
-    if (_events) {
-        _events->push_back({TaskEvent::Kind::Retire, _now, t.begin,
-                            t.end, t.triggerPc, _commitIdx,
-                            t.divertedCount});
-    }
-    // Profitability feedback (paper Section 3.1): a task most of
-    // whose instructions had to synchronize on older tasks added
-    // overhead without overlap; stop spawning from triggers that
-    // keep producing such tasks.
-    if (_cfg.spawnFeedback && t.triggerPc != invalidAddr) {
-        Feedback &fb = _feedback[t.triggerPc];
-        std::uint64_t size = t.end - t.begin;
-        if (t.divertedCount * 100 >=
-            size * std::uint64_t(_cfg.feedbackDivertPercent)) {
-            ++fb.unprofitable;
-        } else {
-            ++fb.profitable;
-        }
-        if (fb.unprofitable >= _cfg.feedbackMinUnprofitable &&
-            fb.unprofitable >= 2 * fb.profitable) {
-            _disabledTriggers.insert(t.triggerPc);
-        }
-    }
-    _tasks.erase(_tasks.begin());
-}
-
-void
-TimingSim::releaseDiverted()
-{
-    int budget = _cfg.pipelineWidth;
-    for (auto it = _divert.begin();
-         it != _divert.end() && budget > 0;) {
-        TraceIdx i = it->idx;
-        if (_state[i].stage != Stage::Diverted) {
-            it = _divert.erase(it);  // squashed while diverted
-            continue;
-        }
-        size_t pos = taskPosOf(i);
-        Task &t = _tasks[pos];
-        const DynInstr &d = _trace->instrs[i];
-
-        if (divertHolds(i, d, t)) {
-            it->readyAt = 0;  // wake-up condition not met (yet)
-            ++it;
-            continue;
-        }
-        // Condition holds: model the FIFO re-dispatch latency. The
-        // ROB entry was already allocated when the instruction
-        // entered the divert queue (holding it there is what makes
-        // in-order commit deadlock-free; see DESIGN.md).
-        if (it->readyAt == 0)
-            it->readyAt = _now + _cfg.divertReleaseDelay;
-        if (_now >= it->readyAt &&
-            static_cast<int>(_sched.size()) < _cfg.schedEntries) {
-            _state[i].stage = Stage::InSched;
-            _sched.push_back(i);
-            --budget;
-            it = _divert.erase(it);
-        } else {
-            ++it;
-        }
-    }
-}
-
-void
-TimingSim::issuePhase()
-{
-    std::sort(_sched.begin(), _sched.end());
-    int fu = _cfg.numFUs;
-    for (auto it = _sched.begin(); it != _sched.end() && fu > 0;) {
-        TraceIdx i = *it;
-        InstrState &s = _state[i];
-        if (s.stage != Stage::InSched) {
-            it = _sched.erase(it);  // squashed while scheduled
-            continue;
-        }
-        const DynInstr &d = _trace->instrs[i];
-        const LinkedInstr &li = staticOf(i);
-        Task *t = taskOf(i);
-
-        // Register operands: synchronized producers must be
-        // complete; an unsynchronized (unpredicted) cross-task
-        // producer lets the consumer issue with a stale value,
-        // which is a dependence violation.
-        bool ready = true;
-        bool staleRegRead = false;
-        RegId srcs[2];
-        int nsrc = li.instr.srcRegs(srcs);
-        for (int k = 0; k < nsrc; ++k) {
-            TraceIdx p = d.prod[k];
-            if (p == invalidTrace || doneAt(p, _now))
-                continue;
-            bool same_task = t && p >= t->begin;
-            bool hinted = t && _cfg.compilerDepHints &&
-                ((t->depMask >> srcs[k]) & 1);
-            if (same_task || hinted ||
-                _regPred.predictsDependence(li.addr)) {
-                ready = false;
-            } else {
-                staleRegRead = true;
-            }
-        }
-
-        // Memory ordering for loads.
-        bool speculativeLoad = false;
-        if (ready && li.instr.isLoad() &&
-            d.memProd != invalidTrace &&
-            _state[d.memProd].stage != Stage::Committed) {
-            if (t && loadSyncNeeded(i, d, *t)) {
-                if (!doneAt(d.memProd, _now))
-                    ready = false;
-            } else if (!doneAt(d.memProd, _now)) {
-                // Unsynchronized cross-task load issuing before the
-                // conflicting store has produced its data.
-                speculativeLoad = true;
-            }
-        }
-
-        if (!ready) {
-            ++it;
-            continue;
-        }
-        if (staleRegRead)
-            _pendingViolations.push_back({i, invalidTrace});
-
-        // Issue.
-        s.stage = Stage::Issued;
-        if (li.instr.isLoad()) {
-            int lat = _hier.accessData(d.effAddr);
-            s.completeCycle = _now + _cfg.loadLatency + (lat - 1);
-        } else if (li.instr.isStore()) {
-            _hier.accessData(d.effAddr);
-            s.completeCycle = _now + 1;
-            // A store executing after dependent cross-task loads
-            // have already issued is a dependence violation.
-            if (_index) {
-                Task *st = taskOf(i);
-                for (TraceIdx l : _index->consumersOf(i)) {
-                    if (_state[l].stage == Stage::Issued &&
-                        (!st || l >= st->end)) {
-                        _pendingViolations.push_back({l, i});
-                    }
-                }
-            }
-        } else {
-            s.completeCycle = _now + execLatency(li);
-        }
-        if (speculativeLoad &&
-            _state[d.memProd].stage == Stage::Issued &&
-            _state[d.memProd].completeCycle > _now) {
-            // Load read stale data while the store is in flight.
-            _pendingViolations.push_back({i, d.memProd});
-        }
-        it = _sched.erase(it);
-        --fu;
-    }
-}
-
-void
-TimingSim::renamePhase()
-{
-    int budget = _cfg.pipelineWidth;
-    for (size_t pos = 0; pos < _tasks.size() && budget > 0; ++pos) {
-        Task &t = _tasks[pos];
-        while (budget > 0 && t.dispIdx < t.fetchIdx) {
-            TraceIdx i = t.dispIdx;
-            InstrState &s = _state[i];
-            if (s.fetchCycle + _cfg.frontendDepth > _now)
-                break;
-            const DynInstr &d = _trace->instrs[i];
-            const LinkedInstr &li = staticOf(i);
-
-            if (divertHolds(i, d, t)) {
-                if (static_cast<int>(_divert.size()) >=
-                        _cfg.divertEntries ||
-                    !robAllowed(pos)) {
-                    if (static_cast<int>(_divert.size()) >=
-                        _cfg.divertEntries) {
-                        ++_res.divertQueueFullStalls;
-                    }
-                    break;
-                }
-                s.stage = Stage::Diverted;
-                _divert.push_back({i, 0});
-                ++_robUsed;
-                ++t.robHeld;
-                ++t.dispIdx;
-                ++t.divertedCount;
-                --budget;
-                ++_res.instrsDiverted;
-            } else {
-                if (static_cast<int>(_sched.size()) >=
-                        _cfg.schedEntries ||
-                    !robAllowed(pos)) {
-                    break;
-                }
-                s.stage = Stage::InSched;
-                _sched.push_back(i);
-                ++_robUsed;
-                ++t.robHeld;
-                ++t.dispIdx;
-                --budget;
-            }
-        }
-    }
-}
-
-void
-TimingSim::maybeSpawn(Task &t, TraceIdx i, const LinkedInstr &li)
-{
-    if (!_source)
-        return;
-    bool isTail = &t == &_tasks.back();
-    if (!_cfg.spawnFromAnyTask && !isTail)
-        return;  // only the tail task may spawn (paper baseline)
-    if (_pending.valid)
-        return;  // one spawn-unit port per cycle
-    std::erase_if(_ghosts,
-                  [&](std::uint64_t e) { return e <= _now; });
-    if (static_cast<int>(_tasks.size() + _ghosts.size()) >=
-        _cfg.numTasks) {
-        ++_res.spawnsSkippedNoContext;
-        return;
-    }
-    auto hint = _source->query(li);
-    if (!hint)
-        return;
-    if (_cfg.spawnFeedback && _disabledTriggers.count(li.addr)) {
-        ++_res.spawnsSkippedFeedback;
-        return;
-    }
-    TraceIdx j = _index->addrIndex().nextOccurrence(hint->targetPc, i);
-    if (j == invalidTrace || j >= t.end)
-        return;
-    std::uint32_t dist = j - i;
-    if (dist < _cfg.minSpawnDistance ||
-        dist > _cfg.maxSpawnDistance) {
-        ++_res.spawnsSkippedDistance;
-        return;
-    }
-
-    // Truncate the parent immediately (its fetch must stop at the
-    // new boundary this cycle); the context allocation is applied
-    // after fetch finishes so task positions stay stable during
-    // the fetch loop.
-    _pending.valid = true;
-    _pending.parentBegin = t.begin;
-    _pending.start = j;
-    _pending.end = t.end;
-    _pending.hint = *hint;
-    _pending.triggerPc = li.addr;
-    _pending.ghr = t.ghr;
-    _pending.ras = t.ras;
-    t.end = j;
-}
-
-void
-TimingSim::applyPendingSpawn()
-{
-    if (!_pending.valid)
-        return;
-    _pending.valid = false;
-    // Re-find the parent (it cannot have retired mid-cycle: its
-    // fetch was active this cycle, so it still has uncommitted
-    // instructions).
-    for (size_t pos = 0; pos < _tasks.size(); ++pos) {
-        Task &t = _tasks[pos];
-        if (t.begin != _pending.parentBegin ||
-            t.end != _pending.start) {
-            continue;
-        }
-        Task nt;
-        nt.begin = _pending.start;
-        nt.end = _pending.end;
-        nt.fetchIdx = nt.dispIdx = nt.begin;
-        nt.fetchReady = _now + _cfg.spawnStartupDelay;
-        nt.lastFetchStall = FetchStall::SpawnStartup;
-        nt.ghr = _pending.ghr;
-        nt.ras = _pending.ras;
-        nt.triggerPc = _pending.triggerPc;
-        nt.depMask = _pending.hint.depMask;
-        if (_events) {
-            _events->push_back({TaskEvent::Kind::Spawn, _now,
-                                nt.begin, nt.end, nt.triggerPc,
-                                _commitIdx, 0});
-        }
-        _tasks.insert(_tasks.begin() + pos + 1, std::move(nt));
-        ++_res.spawns;
-        ++_res.spawnsByKind[static_cast<int>(_pending.hint.kind)];
-        ++_feedback[_pending.triggerPc].spawns;
-        return;
-    }
-}
-
-void
-TimingSim::fetchPhase()
-{
-    // Eligible tasks, scheduled by biased ICount: fewest in-flight
-    // instructions first, biased toward older tasks.
-    std::vector<size_t> eligible;
-    for (size_t pos = 0; pos < _tasks.size(); ++pos) {
-        Task &t = _tasks[pos];
-        if (t.fetchIdx >= t.end || t.fetchReady > _now ||
-            t.blockedOnBranch != invalidTrace)
-            continue;
-        if (static_cast<int>(t.fetchIdx - t.dispIdx) >=
-            _cfg.fetchQueueEntries)
-            continue;
-        eligible.push_back(pos);
-    }
-    std::sort(eligible.begin(), eligible.end(),
-              [&](size_t a, size_t b) {
-                  // ICount over front-end occupancy (fetched but
-                  // not yet renamed), biased toward older tasks.
-                  auto key = [&](size_t p) {
-                      const Task &tk = _tasks[p];
-                      return static_cast<long long>(tk.fetchIdx -
-                                                    tk.dispIdx) +
-                          static_cast<long long>(_cfg.icountAgeBias) *
-                          static_cast<long long>(p);
-                  };
-                  long long ka = key(a), kb = key(b);
-                  return ka != kb ? ka < kb : a < b;
-              });
-
-    int totalBudget = _cfg.pipelineWidth;
-    int tasksFetched = 0;
-    for (size_t pos : eligible) {
-        if (tasksFetched >= _cfg.fetchTasksPerCycle ||
-            totalBudget <= 0)
-            break;
-        ++tasksFetched;
-        Task &t = _tasks[pos];
-        int taken = 0;
-        while (totalBudget > 0 && t.fetchIdx < t.end &&
-               t.fetchReady <= _now &&
-               t.blockedOnBranch == invalidTrace &&
-               static_cast<int>(t.fetchIdx - t.dispIdx) <
-                   _cfg.fetchQueueEntries) {
-            TraceIdx i = t.fetchIdx;
-            const LinkedInstr &li = staticOf(i);
-            const DynInstr &d = _trace->instrs[i];
-
-            // Instruction cache.
-            Addr line = li.addr / Addr(_cfg.l1i.lineBytes);
-            if (line != t.curFetchLine) {
-                int lat = _hier.accessInstr(li.addr);
-                t.curFetchLine = line;
-                if (lat > 1) {
-                    t.fetchReady = _now + lat;
-                    t.lastFetchStall = FetchStall::ICache;
-                    break;
-                }
-            }
-
-            _state[i].stage = Stage::Fetched;
-            _state[i].fetchCycle = _now;
-            ++t.fetchIdx;
-            ++t.inflight;
-            --totalBudget;
-
-            const Instruction &in = li.instr;
-            bool mispredict = false;
-            if (in.isCondBranch()) {
-                ++_res.condBranches;
-                bool pred = _gshare.predict(li.addr, t.ghr);
-                _gshare.update(li.addr, t.ghr, d.taken);
-                t.ghr = _gshare.shiftHistory(t.ghr, d.taken);
-                if (pred != d.taken) {
-                    ++_res.branchMispredicts;
-                    mispredict = true;
-                }
-            } else if (in.isCall()) {
-                t.ras.push(li.addr + instrBytes);
-                if (in.op == Opcode::JALR) {
-                    Addr p = _indirect.predict(li.addr);
-                    _indirect.update(li.addr, d.effAddr);
-                    if (p != d.effAddr) {
-                        ++_res.indirectMispredicts;
-                        mispredict = true;
-                    }
-                }
-            } else if (in.isReturn()) {
-                Addr p = t.ras.pop();
-                if (p != d.effAddr) {
-                    ++_res.returnMispredicts;
-                    mispredict = true;
-                }
-            } else if (in.isIndirectJump()) {
-                Addr p = _indirect.predict(li.addr);
-                _indirect.update(li.addr, d.effAddr);
-                if (p != d.effAddr) {
-                    ++_res.indirectMispredicts;
-                    mispredict = true;
-                }
-            }
-
-            maybeSpawn(t, i, li);
-
-            if (mispredict) {
-                t.blockedOnBranch = i;
-                // Wrong-path fetch past this branch would have
-                // spawned bogus tasks; hold a context hostage until
-                // the branch resolves (squash of the ghost task).
-                if (_source && _cfg.wrongPathGhosts &&
-                    static_cast<int>(_tasks.size() +
-                                     _ghosts.size()) <
-                        _cfg.numTasks) {
-                    _ghosts.push_back(
-                        _now + _cfg.minMispredictPenalty);
-                }
-                break;
-            }
-            if (d.taken) {
-                t.curFetchLine = invalidAddr;  // fetch redirect
-                if (++taken >= _cfg.maxTakenPerTaskCycle)
-                    break;
-            }
-        }
-    }
-}
-
-void
-TimingSim::processViolations()
-{
-    if (_pendingViolations.empty())
-        return;
-    // Handle the oldest violating load; everything younger gets
-    // squashed anyway.
-    auto v = *std::min_element(
-        _pendingViolations.begin(), _pendingViolations.end(),
-        [](const Violation &a, const Violation &b) {
-            return a.consumer < b.consumer;
-        });
-    _pendingViolations.clear();
-
-    // The consumer may already have been squashed meanwhile.
-    if (_state[v.consumer].stage == Stage::None)
-        return;
-
-    ++_res.violations;
-    if (v.store == invalidTrace) {
-        _regPred.recordViolation(staticOf(v.consumer).addr);
-    } else {
-        _storeSets.recordViolation(staticOf(v.consumer).addr,
-                                   staticOf(v.store).addr);
-    }
-    squashFromTask(taskPosOf(v.consumer));
-}
-
-void
-TimingSim::squashFromTask(size_t taskPos)
-{
-    for (size_t pos = taskPos; pos < _tasks.size(); ++pos) {
-        Task &t = _tasks[pos];
-        for (TraceIdx i = t.begin; i < t.end; ++i) {
-            if (_state[i].stage != Stage::None)
-                _state[i] = InstrState{};
-        }
-        _robUsed -= t.robHeld;
-        t.robHeld = 0;
-        t.inflight = 0;
-        t.fetchIdx = t.dispIdx = t.begin;
-        if (_events) {
-            _events->push_back({TaskEvent::Kind::Squash, _now,
-                                t.begin, t.end, t.triggerPc,
-                                _commitIdx, t.divertedCount});
-        }
-        t.divertedCount = 0;
-        t.fetchReady = _now + _cfg.squashRestartPenalty;
-        t.lastFetchStall = FetchStall::Squash;
-        t.blockedOnBranch = invalidTrace;
-        t.curFetchLine = invalidAddr;
-        ++_res.tasksSquashed;
-        if (_cfg.spawnFeedback && t.triggerPc != invalidAddr) {
-            Feedback &fb = _feedback[t.triggerPc];
-            ++fb.squashes;
-            if (fb.squashes >= _cfg.feedbackMinSquashes &&
-                fb.squashes * 4 >= fb.spawns) {
-                _disabledTriggers.insert(t.triggerPc);
-            }
-        }
-    }
-    // Purge squashed entries from the structures lazily; the stage
-    // check in each phase discards them. Clean the scheduler now so
-    // capacity frees immediately.
-    std::erase_if(_sched, [&](TraceIdx i) {
-        return _state[i].stage != Stage::InSched;
-    });
-    std::erase_if(_divert, [&](const DivertEntry &e) {
-        return _state[e.idx].stage != Stage::Diverted;
-    });
 }
 
 TimingResult
@@ -779,40 +47,68 @@ TimingSim::run(const std::string &policyName)
     if (_ran)
         throw std::runtime_error("TimingSim::run called twice");
     _ran = true;
-    _res.policyName = policyName;
-    _res.instrs = _trace->size();
-    _res.issueWidth = std::uint64_t(_cfg.pipelineWidth);
+    sim::MachineState &m = _m;
+    m.res.policyName = policyName;
+    m.res.instrs = m.trace->size();
+    m.res.issueWidth = std::uint64_t(m.cfg.pipelineWidth);
 
     const std::uint64_t cycleLimit =
-        std::uint64_t(200) * _trace->size() + 1'000'000;
+        std::uint64_t(200) * m.trace->size() + 1'000'000;
 
-    while (_commitIdx < _trace->size()) {
-        unblockTasks();
-        commitPhase();
-        if (_commitIdx >= _trace->size())
+    auto slot = [this](std::uint64_t StageProfile::*field) {
+        return _profile ? &(_profile->*field) : nullptr;
+    };
+
+    while (m.commitIdx < m.trace->size()) {
+        {
+            ScopedNs t(slot(&StageProfile::commitNs));
+            _commit.unblock(m);
+            _commit.step(m);
+        }
+        if (m.commitIdx >= m.trace->size())
             break;
         // Attribute this cycle's issue slots while the post-commit
         // state is fresh; the final partial cycle (break above)
-        // does not advance _now and is not accounted, keeping the
-        // identity sum(slots) == cycles * issueWidth exact.
-        accountCycle();
-        releaseDiverted();
-        issuePhase();
-        renamePhase();
-        fetchPhase();
-        applyPendingSpawn();
-        processViolations();
-        ++_now;
-        if (_now > cycleLimit) {
+        // does not advance the clock and is not accounted, keeping
+        // the identity sum(slots) == cycles * issueWidth exact.
+        {
+            ScopedNs t(slot(&StageProfile::accountingNs));
+            sim::accountCycle(m);
+        }
+        {
+            ScopedNs t(slot(&StageProfile::divertNs));
+            _backend.releaseDiverted(m);
+        }
+        {
+            ScopedNs t(slot(&StageProfile::issueNs));
+            _backend.issue(m);
+        }
+        {
+            ScopedNs t(slot(&StageProfile::renameNs));
+            _rename.step(m);
+        }
+        {
+            ScopedNs t(slot(&StageProfile::fetchNs));
+            _frontend.fetch(m);
+            _frontend.applySpawn(m);
+        }
+        {
+            ScopedNs t(slot(&StageProfile::recoveryNs));
+            _recovery.step(m);
+        }
+        ++m.now;
+        if (_profile)
+            ++_profile->cycles;
+        if (m.now > cycleLimit) {
             std::string msg =
                 "TimingSim: cycle limit exceeded (deadlock?) at "
-                "commitIdx " + std::to_string(_commitIdx) +
+                "commitIdx " + std::to_string(m.commitIdx) +
                 " stage=" +
-                std::to_string(int(_state[_commitIdx].stage)) +
-                " sched=" + std::to_string(_sched.size()) +
-                " divert=" + std::to_string(_divert.size()) +
-                " rob=" + std::to_string(_robUsed) + " tasks=[";
-            for (const Task &t : _tasks) {
+                std::to_string(int(m.istate[m.commitIdx].stage)) +
+                " sched=" + std::to_string(m.sched.size()) +
+                " divert=" + std::to_string(m.divert.size()) +
+                " rob=" + std::to_string(m.robUsed) + " tasks=[";
+            for (const sim::Task &t : m.tasks) {
                 msg += "(" + std::to_string(t.begin) + "," +
                     std::to_string(t.end) + ",f" +
                     std::to_string(t.fetchIdx) + ",d" +
@@ -827,11 +123,10 @@ TimingSim::run(const std::string &policyName)
         }
     }
 
-    _res.cycles = _now;
-    _res.triggersDisabled = _disabledTriggers.size();
-    _res.icacheMisses = _hier.l1i().misses();
-    _res.dcacheMisses = _hier.l1d().misses();
-    return _res;
+    m.res.cycles = m.now;
+    m.res.icacheMisses = m.hier.l1i().misses();
+    m.res.dcacheMisses = m.hier.l1d().misses();
+    return m.res;
 }
 
 TimingResult

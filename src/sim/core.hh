@@ -12,31 +12,52 @@
  * mispredicted fetch until branch resolution (see DESIGN.md for why
  * this preserves the paper's first-order effects).
  *
- * Pipeline per cycle:
- *   unblock -> commit -> divert-release -> issue -> rename ->
- *   fetch(+spawn) -> violations/squash
+ * TimingSim itself is a thin orchestrator: all microarchitectural
+ * state lives in sim::MachineState (machine_state.hh) and each
+ * pipeline stage is its own module (frontend.hh, rename.hh,
+ * backend.hh, commit.hh, recovery.hh, accounting.hh). Per cycle:
+ *
+ *   unblock -> commit -> [accounting] -> divert-release -> issue ->
+ *   rename -> fetch(+spawn) -> violations/squash
  */
 
 #ifndef POLYFLOW_SIM_CORE_HH
 #define POLYFLOW_SIM_CORE_HH
 
 #include <cstdint>
-#include <deque>
-#include <memory>
-#include <unordered_map>
-#include <unordered_set>
+#include <string>
 #include <vector>
 
 #include "isa/trace.hh"
-#include "sim/branch_pred.hh"
-#include "sim/cache.hh"
+#include "sim/backend.hh"
+#include "sim/commit.hh"
 #include "sim/config.hh"
+#include "sim/frontend.hh"
+#include "sim/machine_state.hh"
+#include "sim/recovery.hh"
+#include "sim/rename.hh"
 #include "sim/result.hh"
 #include "sim/spawn_source.hh"
-#include "sim/store_sets.hh"
 #include "sim/trace_index.hh"
 
 namespace polyflow {
+
+/**
+ * Wall-clock time spent inside each stage module over a run,
+ * accumulated only when profiling is enabled (TimingSim::
+ * profileStages); bench/micro_timing_sim reports the breakdown.
+ */
+struct StageProfile
+{
+    std::uint64_t commitNs = 0;      //!< unblock + commit
+    std::uint64_t accountingNs = 0;  //!< slot-bucket attribution
+    std::uint64_t divertNs = 0;      //!< divert-queue release
+    std::uint64_t issueNs = 0;       //!< wakeup/select + FUs
+    std::uint64_t renameNs = 0;      //!< rename/dispatch
+    std::uint64_t fetchNs = 0;       //!< fetch + spawn unit
+    std::uint64_t recoveryNs = 0;    //!< violations + squash
+    std::uint64_t cycles = 0;        //!< simulated cycles profiled
+};
 
 /**
  * One timing simulation over a committed trace. Construct, then call
@@ -64,204 +85,38 @@ class TimingSim
 
     /** Record task lifecycle events into @p sink (optional; call
      *  before run()). */
-    void traceTasks(std::vector<TaskEvent> *sink) { _events = sink; }
+    void traceTasks(std::vector<TaskEvent> *sink)
+    {
+        _m.events = sink;
+    }
+
+    /** Accumulate per-stage wall time into @p sink (optional; call
+     *  before run()). */
+    void profileStages(StageProfile *sink) { _profile = sink; }
 
   private:
-    enum class Stage : std::uint8_t {
-        None = 0,
-        Fetched = 1,
-        Diverted = 2,
-        InSched = 3,
-        Issued = 4,
-        Committed = 5,
-    };
+    sim::MachineState _m;
 
-    struct InstrState
-    {
-        Stage stage = Stage::None;
-        std::uint64_t fetchCycle = 0;
-        std::uint64_t completeCycle = 0;
-    };
+    sim::Frontend _frontend;
+    sim::Rename _rename;
+    sim::Backend _backend;
+    sim::Commit _commit;
+    sim::Recovery _recovery;
 
-    /** Why a task's fetch last stalled; refines the cycle-
-     *  accounting blame while the stall (and the frontend refill
-     *  behind it) drains. */
-    enum class FetchStall : std::uint8_t {
-        None,          //!< no stall recorded yet (cold start)
-        Mispredict,    //!< branch mispredict redirect
-        ICache,        //!< instruction-cache miss
-        Squash,        //!< restart after a violation squash
-        SpawnStartup,  //!< context-allocation delay of a new task
-    };
-
-    struct Task
-    {
-        TraceIdx begin = 0, end = 0;
-        TraceIdx fetchIdx = 0, dispIdx = 0;
-        std::uint64_t fetchReady = 0;
-        FetchStall lastFetchStall = FetchStall::None;
-        TraceIdx blockedOnBranch = invalidTrace;
-        std::uint32_t ghr = 0;
-        ReturnAddressStack ras;
-        Addr curFetchLine = invalidAddr;
-        std::uint64_t inflight = 0;  //!< fetched, not committed
-        int robHeld = 0;
-        Addr triggerPc = invalidAddr;  //!< spawn PC that created us
-        std::uint32_t divertedCount = 0;
-        /** Compiler hint: spawner-written live-in registers. */
-        std::uint32_t depMask = 0;
-    };
-
-    struct Violation
-    {
-        TraceIdx consumer;
-        /** Conflicting store for memory violations; invalidTrace
-         *  for stale register reads. */
-        TraceIdx store;
-    };
-
-    struct DivertEntry
-    {
-        TraceIdx idx;
-        /** Cycle the entry may re-enter rename once its wake-up
-         *  condition holds (0 = condition not yet observed). */
-        std::uint64_t readyAt = 0;
-    };
-
-    /** @name Cycle phases @{ */
-    void unblockTasks();
-    void commitPhase();
-    void releaseDiverted();
-    void issuePhase();
-    void renamePhase();
-    void fetchPhase();
-    void processViolations();
-    /** @} */
-
-    void maybeSpawn(Task &t, TraceIdx i, const LinkedInstr &li);
-    void squashFromTask(size_t taskPos);
-    void retireHead();
-
-    /** @name Cycle accounting @{ */
-    /** Attribute this cycle's pipelineWidth issue slots: commits
-     *  fill Committed, the rest go to blameBucket(). Called once
-     *  per counted cycle, right after commitPhase(). */
-    void accountCycle();
-    /** Why the oldest uncommitted instruction did not commit. */
-    SlotBucket blameBucket() const;
-    /** Map a task's recorded fetch stall to its bucket. */
-    static SlotBucket stallBucket(const Task &t);
-    /** @} */
-
-    /** True if instruction @p i must (still) wait in the divert
-     *  queue: a synchronized producer has not been renamed yet. */
-    bool divertHolds(TraceIdx i, const DynInstr &d,
-                     const Task &t) const;
-    bool loadSyncNeeded(TraceIdx i, const DynInstr &d,
-                        const Task &t) const;
-    bool robAllowed(size_t taskPos) const;
-    int execLatency(const LinkedInstr &li) const;
-
-    Task *taskOf(TraceIdx i);
-    size_t taskPosOf(TraceIdx i) const;
-
-    bool
-    doneAt(TraceIdx p, std::uint64_t cycle) const
-    {
-        const InstrState &s = _state[p];
-        return s.stage == Stage::Committed ||
-            (s.stage == Stage::Issued && s.completeCycle <= cycle);
-    }
-
-    const LinkedInstr &
-    staticOf(TraceIdx i) const
-    {
-        return _trace->staticOf(i);
-    }
-
-    MachineConfig _cfg;
-    const Trace *_trace;
-    SpawnSource *_source;
-
-    std::vector<InstrState> _state;
-    std::vector<Task> _tasks;  //!< active tasks, oldest first
-    std::vector<TraceIdx> _sched;
-    std::deque<DivertEntry> _divert;
-    std::vector<Violation> _pendingViolations;
-    int _robUsed = 0;
-    TraceIdx _commitIdx = 0;
-    std::uint64_t _now = 0;
-    /** Instructions committed this cycle (set by commitPhase,
-     *  consumed by accountCycle). */
-    int _cycleCommits = 0;
-
-    MemHierarchy _hier;
-    GsharePredictor _gshare;
-    IndirectPredictor _indirect;
-    StoreSetPredictor _storeSets;
-    RegDepPredictor _regPred;
-    /** Per-trace indexes (spawn targets, store->consumer loads);
-     *  either shared by the caller or privately owned. */
-    const TraceIndex *_index = nullptr;
-    std::unique_ptr<TraceIndex> _ownedIndex;
-
-    /** Spawn-profitability feedback (paper: "dynamic feedback about
-     *  which tasks are profitable"). */
-    struct Feedback
-    {
-        int spawns = 0;
-        int squashes = 0;
-        int unprofitable = 0;
-        int profitable = 0;
-    };
-    std::unordered_map<Addr, Feedback> _feedback;
-    std::unordered_set<Addr> _disabledTriggers;
-    /** Expiry cycles of contexts held by wrong-path (ghost) tasks. */
-    std::vector<std::uint64_t> _ghosts;
-
-    /** A spawn decided mid-fetch, applied at end of cycle so task
-     *  positions stay stable while fetchPhase iterates. */
-    struct PendingSpawn
-    {
-        bool valid = false;
-        TraceIdx parentBegin = 0;
-        TraceIdx start = 0;
-        TraceIdx end = 0;
-        SpawnHint hint{};
-        Addr triggerPc = invalidAddr;
-        std::uint32_t ghr = 0;
-        ReturnAddressStack ras;
-    };
-    void applyPendingSpawn();
-
-    PendingSpawn _pending;
-    TimingResult _res;
-    std::vector<TaskEvent> *_events = nullptr;
+    StageProfile *_profile = nullptr;
     bool _ran = false;
 };
 
 /**
  * Convenience wrapper: run @p trace on @p config with an optional
  * spawn source. @p sharedIndex, when given, must index @p trace.
+ * Most callers should not need it: polyflow::Session wires the whole
+ * trace → analyze → simulate pipeline (polyflow.hh).
  */
 TimingResult runTiming(const MachineConfig &config,
                        const Trace &trace, SpawnSource *source,
                        const std::string &name,
                        const TraceIndex *sharedIndex = nullptr);
-
-/**
- * @deprecated Pre-normalization name of runTiming(), kept for one
- * PR so benches and tests can migrate incrementally (docs/API.md).
- * Most callers should not need either: polyflow::Session wires the
- * whole trace → analyze → simulate pipeline (polyflow.hh).
- */
-inline TimingResult
-simulate(const MachineConfig &config, const Trace &trace,
-         SpawnSource *source, const std::string &name,
-         const TraceIndex *sharedIndex = nullptr)
-{
-    return runTiming(config, trace, source, name, sharedIndex);
-}
 
 } // namespace polyflow
 

@@ -1,0 +1,228 @@
+#include "sim/frontend.hh"
+
+#include <algorithm>
+
+namespace polyflow::sim {
+
+void
+Frontend::maybeSpawn(MachineState &m, Task &t, TraceIdx i,
+                     const LinkedInstr &li)
+{
+    if (!m.source)
+        return;
+    bool isTail = &t == &m.tasks.back();
+    if (!m.cfg.spawnFromAnyTask && !isTail)
+        return;  // only the tail task may spawn (paper baseline)
+    if (m.pending.valid)
+        return;  // one spawn-unit port per cycle
+    std::erase_if(m.ghosts,
+                  [&](std::uint64_t e) { return e <= m.now; });
+    if (static_cast<int>(m.tasks.size() + m.ghosts.size()) >=
+        m.cfg.numTasks) {
+        ++m.res.spawnsSkippedNoContext;
+        return;
+    }
+    auto hint = m.source->query(li);
+    if (!hint)
+        return;
+    const DynInstr &d = m.trace->instrs[i];
+    if (m.cfg.spawnFeedback && m.feedback[d.img].disabled) {
+        ++m.res.spawnsSkippedFeedback;
+        return;
+    }
+    TraceIdx j =
+        m.index->addrIndex().nextOccurrence(hint->targetPc, i);
+    if (j == invalidTrace || j >= t.end)
+        return;
+    std::uint32_t dist = j - i;
+    if (dist < m.cfg.minSpawnDistance ||
+        dist > m.cfg.maxSpawnDistance) {
+        ++m.res.spawnsSkippedDistance;
+        return;
+    }
+
+    // Truncate the parent immediately (its fetch must stop at the
+    // new boundary this cycle); the context allocation is applied
+    // after fetch finishes so task positions stay stable during
+    // the fetch loop.
+    m.pending.valid = true;
+    m.pending.parentBegin = t.begin;
+    m.pending.start = j;
+    m.pending.end = t.end;
+    m.pending.hint = *hint;
+    m.pending.triggerPc = li.addr;
+    m.pending.triggerImg = d.img;
+    m.pending.ghr = t.ghr;
+    m.pending.ras = t.ras;
+    t.end = j;
+}
+
+void
+Frontend::applySpawn(MachineState &m)
+{
+    if (!m.pending.valid)
+        return;
+    m.pending.valid = false;
+    // Re-find the parent (it cannot have retired mid-cycle: its
+    // fetch was active this cycle, so it still has uncommitted
+    // instructions).
+    for (size_t pos = 0; pos < m.tasks.size(); ++pos) {
+        Task &t = m.tasks[pos];
+        if (t.begin != m.pending.parentBegin ||
+            t.end != m.pending.start) {
+            continue;
+        }
+        Task nt;
+        nt.begin = m.pending.start;
+        nt.end = m.pending.end;
+        nt.fetchIdx = nt.dispIdx = nt.begin;
+        nt.fetchReady = m.now + m.cfg.spawnStartupDelay;
+        nt.lastFetchStall = FetchStall::SpawnStartup;
+        nt.ghr = m.pending.ghr;
+        nt.ras = m.pending.ras;
+        nt.triggerPc = m.pending.triggerPc;
+        nt.triggerImg = m.pending.triggerImg;
+        nt.depMask = m.pending.hint.depMask;
+        if (m.events) {
+            m.events->push_back({TaskEvent::Kind::Spawn, m.now,
+                                 nt.begin, nt.end, nt.triggerPc,
+                                 m.commitIdx, 0});
+        }
+        m.tasks.insert(m.tasks.begin() + pos + 1, std::move(nt));
+        ++m.res.spawns;
+        ++m.res.spawnsByKind[static_cast<int>(m.pending.hint.kind)];
+        ++m.feedback[m.pending.triggerImg].spawns;
+        return;
+    }
+}
+
+void
+Frontend::fetch(MachineState &m)
+{
+    // Eligible tasks, scheduled by biased ICount: fewest in-flight
+    // instructions first, biased toward older tasks.
+    std::vector<size_t> eligible;
+    for (size_t pos = 0; pos < m.tasks.size(); ++pos) {
+        Task &t = m.tasks[pos];
+        if (t.fetchIdx >= t.end || t.fetchReady > m.now ||
+            t.blockedOnBranch != invalidTrace)
+            continue;
+        if (static_cast<int>(t.fetchIdx - t.dispIdx) >=
+            m.cfg.fetchQueueEntries)
+            continue;
+        eligible.push_back(pos);
+    }
+    std::sort(eligible.begin(), eligible.end(),
+              [&](size_t a, size_t b) {
+                  // ICount over front-end occupancy (fetched but
+                  // not yet renamed), biased toward older tasks.
+                  auto key = [&](size_t p) {
+                      const Task &tk = m.tasks[p];
+                      return static_cast<long long>(tk.fetchIdx -
+                                                    tk.dispIdx) +
+                          static_cast<long long>(
+                              m.cfg.icountAgeBias) *
+                          static_cast<long long>(p);
+                  };
+                  long long ka = key(a), kb = key(b);
+                  return ka != kb ? ka < kb : a < b;
+              });
+
+    int totalBudget = m.cfg.pipelineWidth;
+    int tasksFetched = 0;
+    for (size_t pos : eligible) {
+        if (tasksFetched >= m.cfg.fetchTasksPerCycle ||
+            totalBudget <= 0)
+            break;
+        ++tasksFetched;
+        Task &t = m.tasks[pos];
+        int taken = 0;
+        while (totalBudget > 0 && t.fetchIdx < t.end &&
+               t.fetchReady <= m.now &&
+               t.blockedOnBranch == invalidTrace &&
+               static_cast<int>(t.fetchIdx - t.dispIdx) <
+                   m.cfg.fetchQueueEntries) {
+            TraceIdx i = t.fetchIdx;
+            const LinkedInstr &li = m.staticOf(i);
+            const DynInstr &d = m.trace->instrs[i];
+
+            // Instruction cache.
+            Addr line = li.addr / Addr(m.cfg.l1i.lineBytes);
+            if (line != t.curFetchLine) {
+                int lat = m.hier.accessInstr(li.addr);
+                t.curFetchLine = line;
+                if (lat > 1) {
+                    t.fetchReady = m.now + lat;
+                    t.lastFetchStall = FetchStall::ICache;
+                    break;
+                }
+            }
+
+            m.istate[i].stage = InstrStage::Fetched;
+            m.istate[i].fetchCycle = m.now;
+            ++t.fetchIdx;
+            ++t.inflight;
+            --totalBudget;
+
+            const Instruction &in = li.instr;
+            bool mispredict = false;
+            if (in.isCondBranch()) {
+                ++m.res.condBranches;
+                bool pred = m.gshare.predict(li.addr, t.ghr);
+                m.gshare.update(li.addr, t.ghr, d.taken);
+                t.ghr = m.gshare.shiftHistory(t.ghr, d.taken);
+                if (pred != d.taken) {
+                    ++m.res.branchMispredicts;
+                    mispredict = true;
+                }
+            } else if (in.isCall()) {
+                t.ras.push(li.addr + instrBytes);
+                if (in.op == Opcode::JALR) {
+                    Addr p = m.indirect.predict(li.addr);
+                    m.indirect.update(li.addr, d.effAddr);
+                    if (p != d.effAddr) {
+                        ++m.res.indirectMispredicts;
+                        mispredict = true;
+                    }
+                }
+            } else if (in.isReturn()) {
+                Addr p = t.ras.pop();
+                if (p != d.effAddr) {
+                    ++m.res.returnMispredicts;
+                    mispredict = true;
+                }
+            } else if (in.isIndirectJump()) {
+                Addr p = m.indirect.predict(li.addr);
+                m.indirect.update(li.addr, d.effAddr);
+                if (p != d.effAddr) {
+                    ++m.res.indirectMispredicts;
+                    mispredict = true;
+                }
+            }
+
+            maybeSpawn(m, t, i, li);
+
+            if (mispredict) {
+                t.blockedOnBranch = i;
+                // Wrong-path fetch past this branch would have
+                // spawned bogus tasks; hold a context hostage until
+                // the branch resolves (squash of the ghost task).
+                if (m.source && m.cfg.wrongPathGhosts &&
+                    static_cast<int>(m.tasks.size() +
+                                     m.ghosts.size()) <
+                        m.cfg.numTasks) {
+                    m.ghosts.push_back(
+                        m.now + m.cfg.minMispredictPenalty);
+                }
+                break;
+            }
+            if (d.taken) {
+                t.curFetchLine = invalidAddr;  // fetch redirect
+                if (++taken >= m.cfg.maxTakenPerTaskCycle)
+                    break;
+            }
+        }
+    }
+}
+
+} // namespace polyflow::sim

@@ -1,0 +1,37 @@
+#include "sim/machine_state.hh"
+
+#include <stdexcept>
+
+namespace polyflow::sim {
+
+MachineState::MachineState(const MachineConfig &config,
+                           const Trace &trace_, SpawnSource *source_,
+                           const TraceIndex *sharedIndex)
+    : cfg(config), trace(&trace_), source(source_), hier(config),
+      gshare(config), depPred(trace_.prog ? trace_.prog->size() : 0)
+{
+    if (trace_.size() == 0)
+        throw std::runtime_error("TimingSim: empty trace");
+    istate.resize(trace_.size());
+
+    if (source) {
+        if (sharedIndex) {
+            index = sharedIndex;
+        } else {
+            ownedIndex = std::make_unique<TraceIndex>(trace_);
+            index = ownedIndex.get();
+        }
+        feedback.resize(trace_.prog->size());
+    }
+
+    Task t0;
+    t0.begin = 0;
+    t0.end = static_cast<TraceIdx>(trace_.size());
+    t0.ras = ReturnAddressStack(config.returnStackEntries);
+    // Reserve so that spawning inside the fetch stage never
+    // reallocates while a Task reference is live.
+    tasks.reserve(size_t(config.numTasks) + 1);
+    tasks.push_back(std::move(t0));
+}
+
+} // namespace polyflow::sim

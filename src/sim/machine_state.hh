@@ -1,0 +1,376 @@
+/**
+ * @file
+ * MachineState: the explicit, documented microarchitectural state of
+ * the PolyFlow machine (Figure 7), shared by every pipeline-stage
+ * module.
+ *
+ * The timing simulator used to be one class whose stages communicated
+ * through private fields; the stage modules (frontend.hh, rename.hh,
+ * backend.hh, commit.hh, recovery.hh, accounting.hh) now all operate
+ * on this one struct instead, so each stage can be driven — and
+ * tested — in isolation on a hand-built state (tests/test_stages.cc).
+ *
+ * Ownership rules:
+ *  - MachineState owns every piece of per-run mutable state: the
+ *    per-instruction pipeline positions, the task table, scheduler
+ *    and divert-queue occupancy, predictors, caches, spawn feedback
+ *    and the accumulating TimingResult.
+ *  - The committed trace, the spawn source and the shared TraceIndex
+ *    are borrowed read-only (the sweep engine shares them across
+ *    concurrent simulations).
+ *
+ * Methods on MachineState are *queries* used by more than one stage
+ * (task lookup, synchronization predicates, resource admission);
+ * anything that advances the pipeline lives in a stage module.
+ */
+
+#ifndef POLYFLOW_SIM_MACHINE_STATE_HH
+#define POLYFLOW_SIM_MACHINE_STATE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "isa/trace.hh"
+#include "sim/branch_pred.hh"
+#include "sim/cache.hh"
+#include "sim/config.hh"
+#include "sim/dep_predictors.hh"
+#include "sim/result.hh"
+#include "sim/spawn_source.hh"
+#include "sim/trace_index.hh"
+
+namespace polyflow::sim {
+
+/** Pipeline position of one dynamic (trace) instruction. */
+enum class InstrStage : std::uint8_t {
+    None = 0,
+    Fetched = 1,
+    Diverted = 2,
+    InSched = 3,
+    Issued = 4,
+    Committed = 5,
+};
+
+/** Per-instruction pipeline bookkeeping, indexed by trace position. */
+struct InstrState
+{
+    InstrStage stage = InstrStage::None;
+    std::uint64_t fetchCycle = 0;
+    std::uint64_t completeCycle = 0;
+};
+
+/** Why a task's fetch last stalled; refines the cycle-accounting
+ *  blame while the stall (and the frontend refill behind it)
+ *  drains. */
+enum class FetchStall : std::uint8_t {
+    None,          //!< no stall recorded yet (cold start)
+    Mispredict,    //!< branch mispredict redirect
+    ICache,        //!< instruction-cache miss
+    Squash,        //!< restart after a violation squash
+    SpawnStartup,  //!< context-allocation delay of a new task
+};
+
+/**
+ * One task context. Tasks carve disjoint, contiguous ranges
+ * [begin, end) out of the committed trace and stay sorted by begin
+ * in MachineState::tasks (spawns only split a task's own tail).
+ */
+struct Task
+{
+    TraceIdx begin = 0, end = 0;
+    TraceIdx fetchIdx = 0, dispIdx = 0;
+    std::uint64_t fetchReady = 0;
+    FetchStall lastFetchStall = FetchStall::None;
+    TraceIdx blockedOnBranch = invalidTrace;
+    std::uint32_t ghr = 0;
+    ReturnAddressStack ras;
+    Addr curFetchLine = invalidAddr;
+    std::uint64_t inflight = 0;  //!< fetched, not committed
+    int robHeld = 0;
+    Addr triggerPc = invalidAddr;  //!< spawn PC that created us
+    /** Static (image) index of the trigger; valid iff triggerPc is.
+     *  Keys the flat spawn-feedback table. */
+    ImageIdx triggerImg = 0;
+    std::uint32_t divertedCount = 0;
+    /** Compiler hint: spawner-written live-in registers. */
+    std::uint32_t depMask = 0;
+};
+
+/** A dependence violation detected at issue, squashed end-of-cycle. */
+struct Violation
+{
+    TraceIdx consumer;
+    /** Conflicting store for memory violations; invalidTrace for
+     *  stale register reads. */
+    TraceIdx store;
+};
+
+/** One divert-queue entry. */
+struct DivertEntry
+{
+    TraceIdx idx;
+    /** Cycle the entry may re-enter rename once its wake-up
+     *  condition holds (0 = condition not yet observed). */
+    std::uint64_t readyAt = 0;
+};
+
+/** A spawn decided mid-fetch, applied at end of cycle so task
+ *  positions stay stable while the frontend iterates. */
+struct PendingSpawn
+{
+    bool valid = false;
+    TraceIdx parentBegin = 0;
+    TraceIdx start = 0;
+    TraceIdx end = 0;
+    SpawnHint hint{};
+    Addr triggerPc = invalidAddr;
+    ImageIdx triggerImg = 0;
+    std::uint32_t ghr = 0;
+    ReturnAddressStack ras;
+};
+
+/**
+ * Spawn-profitability feedback per trigger (paper: "dynamic feedback
+ * about which tasks are profitable"), kept in a flat table indexed
+ * by the trigger's image index — the commit and recovery stages
+ * update it on every retire/squash, so it must not hash.
+ */
+struct TriggerFeedback
+{
+    int spawns = 0;
+    int squashes = 0;
+    int unprofitable = 0;
+    int profitable = 0;
+    bool disabled = false;
+};
+
+struct MachineState
+{
+    /**
+     * @param config machine parameters
+     * @param trace committed dynamic trace from the functional sim
+     * @param source spawn source, or nullptr for the superscalar
+     *               baseline (no spawning)
+     * @param sharedIndex precomputed indexes over @p trace, shared
+     *               read-only across simulations; nullptr builds
+     *               private ones when spawning is enabled
+     * @throws std::runtime_error on an empty trace
+     */
+    MachineState(const MachineConfig &config, const Trace &trace,
+                 SpawnSource *source,
+                 const TraceIndex *sharedIndex = nullptr);
+
+    /** @name Configuration and borrowed inputs @{ */
+    MachineConfig cfg;
+    const Trace *trace;
+    SpawnSource *source;
+    /** Per-trace indexes (spawn targets, store->consumer loads);
+     *  either shared by the caller or privately owned. */
+    const TraceIndex *index = nullptr;
+    std::unique_ptr<TraceIndex> ownedIndex;
+    /** @} */
+
+    /** @name Pipeline state @{ */
+    std::vector<InstrState> istate;  //!< indexed by trace position
+    std::vector<Task> tasks;         //!< active tasks, oldest first
+    std::vector<TraceIdx> sched;     //!< scheduler occupancy
+    std::deque<DivertEntry> divert;  //!< divert-queue occupancy
+    std::vector<Violation> pendingViolations;
+    int robUsed = 0;
+    TraceIdx commitIdx = 0;
+    std::uint64_t now = 0;
+    /** Instructions committed this cycle (set by the commit stage,
+     *  consumed by accounting). */
+    int cycleCommits = 0;
+    /** Expiry cycles of contexts held by wrong-path (ghost)
+     *  tasks. */
+    std::vector<std::uint64_t> ghosts;
+    PendingSpawn pending;
+    /** @} */
+
+    /** @name Predictors and memories @{ */
+    MemHierarchy hier;
+    GsharePredictor gshare;
+    IndirectPredictor indirect;
+    /** Rename-stage register/memory dependence predictors (flat,
+     *  image-indexed; see dep_predictors.hh). */
+    DepPredictors depPred;
+    /** @} */
+
+    /** Spawn-profitability feedback, image-indexed (empty for the
+     *  spawning-free baseline). */
+    std::vector<TriggerFeedback> feedback;
+
+    /** @name Outputs @{ */
+    TimingResult res;
+    std::vector<TaskEvent> *events = nullptr;
+    /** @} */
+
+    /** @name Queries shared by several stages
+     * Defined inline below: they run per instruction per cycle in
+     * several stage modules, and must inline into each of them.
+     * @{ */
+
+    /** The task owning trace index @p i, or nullptr. */
+    Task *taskOf(TraceIdx i);
+    /** Position in tasks of the task owning @p i; throws if none. */
+    size_t taskPosOf(TraceIdx i) const;
+
+    /** May the task at @p taskPos allocate another ROB entry?
+     *  Younger tasks leave headroom so the head task always makes
+     *  progress toward in-order commit (deadlock freedom;
+     *  DESIGN.md). */
+    bool robAllowed(size_t taskPos) const;
+
+    /** Execution latency class of a static instruction. */
+    int execLatency(const LinkedInstr &li) const;
+
+    /** True if instruction @p i must (still) wait in the divert
+     *  queue: a synchronized producer has not been renamed yet. */
+    bool divertHolds(TraceIdx i, const DynInstr &d,
+                     const Task &t) const;
+    /** True if load @p i must synchronize on its producing store. */
+    bool loadSyncNeeded(TraceIdx i, const DynInstr &d,
+                        const Task &t) const;
+
+    /** Producer @p p has its result available at @p cycle. */
+    bool
+    doneAt(TraceIdx p, std::uint64_t cycle) const
+    {
+        const InstrState &s = istate[p];
+        return s.stage == InstrStage::Committed ||
+            (s.stage == InstrStage::Issued &&
+             s.completeCycle <= cycle);
+    }
+
+    const LinkedInstr &
+    staticOf(TraceIdx i) const
+    {
+        return trace->staticOf(i);
+    }
+
+    /** Feedback slot of a retired/squashed task's trigger. */
+    TriggerFeedback &
+    feedbackOf(const Task &t)
+    {
+        return feedback[t.triggerImg];
+    }
+
+    /** @} */
+};
+
+inline Task *
+MachineState::taskOf(TraceIdx i)
+{
+    // Tasks carve disjoint ranges out of the trace and stay sorted
+    // by begin (spawns only split a task's own tail), so the owner
+    // is the last task starting at or before i.
+    auto it = std::upper_bound(
+        tasks.begin(), tasks.end(), i,
+        [](TraceIdx v, const Task &t) { return v < t.begin; });
+    if (it == tasks.begin())
+        return nullptr;
+    --it;
+    return i < it->end ? &*it : nullptr;
+}
+
+inline size_t
+MachineState::taskPosOf(TraceIdx i) const
+{
+    auto it = std::upper_bound(
+        tasks.begin(), tasks.end(), i,
+        [](TraceIdx v, const Task &t) { return v < t.begin; });
+    if (it != tasks.begin()) {
+        --it;
+        if (i < it->end)
+            return static_cast<size_t>(it - tasks.begin());
+    }
+    throw std::runtime_error("taskPosOf: index not in any task");
+}
+
+inline bool
+MachineState::robAllowed(size_t taskPos) const
+{
+    int reserve =
+        cfg.robReservePerOlderTask * static_cast<int>(taskPos);
+    return robUsed < cfg.robEntries - reserve;
+}
+
+inline int
+MachineState::execLatency(const LinkedInstr &li) const
+{
+    switch (li.instr.op) {
+      case Opcode::MUL:
+        return cfg.mulLatency;
+      case Opcode::DIVU:
+      case Opcode::REMU:
+        return cfg.divLatency;
+      default:
+        return cfg.intLatency;
+    }
+}
+
+inline bool
+MachineState::loadSyncNeeded(TraceIdx i, const DynInstr &d,
+                             const Task &t) const
+{
+    if (!staticOf(i).instr.isLoad() || d.memProd == invalidTrace)
+        return false;
+    if (istate[d.memProd].stage == InstrStage::Committed)
+        return false;
+    bool same_task = d.memProd >= t.begin;
+    return same_task || depPred.predictsMemDep(d.img);
+}
+
+inline bool
+MachineState::divertHolds(TraceIdx i, const DynInstr &d,
+                          const Task &t) const
+{
+    // An instruction synchronizes (stays diverted) while a producer
+    // it is predicted to depend on has not been renamed yet.
+    // Same-task producers are always synchronized: in-order rename
+    // has seen them, and following them into the divert queue keeps
+    // the scheduler free of entries that could never wake up
+    // (deadlock freedom; see DESIGN.md). Cross-task register
+    // producers are synchronized only when the rename-stage
+    // dependence predictor says so; otherwise the consumer
+    // speculates and may trigger a violation at issue.
+    const LinkedInstr &li = staticOf(i);
+    RegId srcs[2];
+    int nsrc = li.instr.srcRegs(srcs);
+    for (int k = 0; k < nsrc; ++k) {
+        TraceIdx p = d.prod[k];
+        if (p == invalidTrace)
+            continue;
+        bool same_task = p >= t.begin;
+        if (same_task) {
+            // Same-task values flow through the scheduler normally;
+            // divert only while the producer is not yet renamed
+            // (it may itself sit in the divert queue).
+            if (istate[p].stage < InstrStage::InSched)
+                return true;
+            continue;
+        }
+        bool hinted = cfg.compilerDepHints &&
+            ((t.depMask >> srcs[k]) & 1);
+        if ((hinted || depPred.predictsRegDep(d.img)) &&
+            istate[p].stage < InstrStage::Issued) {
+            // Synchronized consumers re-enter rename once the
+            // producer has issued ("some time after its producer
+            // has been dispatched", paper Section 3.1); the
+            // scheduler's normal wakeup covers the rest.
+            return true;
+        }
+    }
+    if (loadSyncNeeded(i, d, t) && !doneAt(d.memProd, now))
+        return true;
+    return false;
+}
+
+} // namespace polyflow::sim
+
+#endif // POLYFLOW_SIM_MACHINE_STATE_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Recovery stage: dependence-violation handling and task squash.
+ * Trains the dependence predictors, rolls the violating task and all
+ * younger tasks back to their range starts, and applies squash
+ * profitability feedback.
+ */
+
+#ifndef POLYFLOW_SIM_RECOVERY_HH
+#define POLYFLOW_SIM_RECOVERY_HH
+
+#include <cstddef>
+
+#include "sim/machine_state.hh"
+
+namespace polyflow::sim {
+
+class Recovery
+{
+  public:
+    /**
+     * Handle the cycle's pending violations: squash from the oldest
+     * violating consumer's task (everything younger gets squashed
+     * anyway) and train the corresponding predictor.
+     */
+    void step(MachineState &m);
+
+    /**
+     * Squash the task at @p taskPos and every younger task: reset
+     * their instructions to un-fetched, free their ROB share, and
+     * restart fetch at the range start after the squash penalty.
+     */
+    void squashFromTask(MachineState &m, size_t taskPos);
+};
+
+} // namespace polyflow::sim
+
+#endif // POLYFLOW_SIM_RECOVERY_HH

@@ -83,9 +83,7 @@ slotBucketName(SlotBucket b)
     return "?";
 }
 
-/** Aggregate statistics from one timing-simulator run.
- *  (Known as SimResult before the PR-3 API normalization; the old
- *  name survives as a deprecated alias below.) */
+/** Aggregate statistics from one timing-simulator run. */
 struct TimingResult
 {
     std::string policyName;
@@ -170,13 +168,6 @@ struct TimingResult
             (double(baseline.cycles) / double(cycles) - 1.0);
     }
 };
-
-/**
- * @deprecated Pre-normalization name of TimingResult, kept for one
- * PR so benches and tests can migrate incrementally. New code uses
- * the FunctionalResult / TimingResult pairing (docs/API.md).
- */
-using SimResult = TimingResult;
 
 } // namespace polyflow
 

@@ -20,12 +20,7 @@
 
 #include <gtest/gtest.h>
 
-#include "driver/sweep.hh"
-#include "isa/functional_sim.hh"
-#include "sim/core.hh"
-#include "spawn/policy.hh"
-#include "spawn/spawn_analysis.hh"
-#include "workloads/workloads.hh"
+#include "polyflow.hh"
 
 namespace polyflow {
 namespace {
@@ -34,7 +29,7 @@ constexpr double kScale = 0.04;
 
 /** The accounting identity plus basic slot sanity for one run. */
 void
-checkSlotInvariants(const SimResult &r, std::uint64_t expectWidth)
+checkSlotInvariants(const TimingResult &r, std::uint64_t expectWidth)
 {
     EXPECT_EQ(r.issueWidth, expectWidth) << r.policyName;
     EXPECT_EQ(r.slotTotal(), r.cycles * r.issueWidth)
@@ -73,7 +68,7 @@ TEST(Accounting, IdentityHoldsOnEveryWorkloadAndPolicy)
 
     for (size_t i = 0; i < cells.size(); ++i) {
         SCOPED_TRACE(cells[i].workload + "/" + cells[i].label);
-        const SimResult &r = results[i].sim;
+        const TimingResult &r = results[i].sim;
         checkSlotInvariants(
             r,
             std::uint64_t(cells[i].config.pipelineWidth));
@@ -110,7 +105,7 @@ TEST(Accounting, SquashedRangesNeverAppearInCommitStream)
     std::uint64_t totalSquashes = 0;
     for (const std::string &name : {"twolf", "gcc", "vpr.route"}) {
         Workload w = buildWorkload(name, kScale);
-        FuncSimOptions opt;
+        FunctionalOptions opt;
         opt.recordTrace = true;
         auto fr = runFunctional(w.prog, opt);
         ASSERT_TRUE(fr.halted);
@@ -121,7 +116,7 @@ TEST(Accounting, SquashedRangesNeverAppearInCommitStream)
         std::vector<TaskEvent> events;
         TimingSim sim(MachineConfig{}, fr.trace, &src);
         sim.traceTasks(&events);
-        SimResult res = sim.run("postdoms");
+        TimingResult res = sim.run("postdoms");
         checkSlotInvariants(res, 8);
 
         std::uint64_t squashes = 0;
@@ -159,7 +154,7 @@ TEST(Accounting, NarrowMachineKeepsIdentity)
 {
     // The identity is per-width, not an artifact of width 8.
     Workload w = buildWorkload("mcf", kScale);
-    FuncSimOptions opt;
+    FunctionalOptions opt;
     opt.recordTrace = true;
     auto fr = runFunctional(w.prog, opt);
     ASSERT_TRUE(fr.halted);
@@ -170,7 +165,7 @@ TEST(Accounting, NarrowMachineKeepsIdentity)
         cfg.pipelineWidth = width;
         StaticSpawnSource src{
             HintTable(sa, SpawnPolicy::postdoms())};
-        SimResult r = simulate(cfg, fr.trace, &src,
+        TimingResult r = runTiming(cfg, fr.trace, &src,
                                "w" + std::to_string(width));
         checkSlotInvariants(r, std::uint64_t(width));
     }

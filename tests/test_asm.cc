@@ -12,7 +12,7 @@ namespace polyflow {
 namespace {
 
 /** Assemble, link and run. */
-FuncSimResult
+FunctionalResult
 run(const std::string &src)
 {
     auto mod = assemble(src);

@@ -11,13 +11,8 @@
 
 #include <cstdlib>
 
-#include "driver/sweep.hh"
-#include "isa/functional_sim.hh"
-#include "sim/core.hh"
-#include "spawn/policy.hh"
-#include "spawn/spawn_analysis.hh"
+#include "polyflow.hh"
 #include "stats/export.hh"
-#include "workloads/workloads.hh"
 
 namespace polyflow {
 namespace {
@@ -48,23 +43,23 @@ testPolicies()
 
 /** The pre-sweep-engine serial reference: trace, analyze and
  *  simulate each cell in a plain loop, sharing nothing. */
-std::vector<SimResult>
+std::vector<TimingResult>
 serialReference()
 {
-    std::vector<SimResult> out;
+    std::vector<TimingResult> out;
     for (const std::string &name : testWorkloads()) {
         Workload w = buildWorkload(name, kScale);
-        FuncSimOptions opt;
+        FunctionalOptions opt;
         opt.recordTrace = true;
-        FuncSimResult fr = runFunctional(w.prog, opt);
+        FunctionalResult fr = runFunctional(w.prog, opt);
         EXPECT_TRUE(fr.halted);
-        out.push_back(simulate(MachineConfig::superscalar(),
+        out.push_back(runTiming(MachineConfig::superscalar(),
                                fr.trace, nullptr, "superscalar"));
         for (const SpawnPolicy &p : testPolicies()) {
             SpawnAnalysis sa(*w.module, w.prog);
             StaticSpawnSource src(HintTable(sa, p));
             out.push_back(
-                simulate(MachineConfig{}, fr.trace, &src, p.name));
+                runTiming(MachineConfig{}, fr.trace, &src, p.name));
         }
     }
     return out;
@@ -89,7 +84,7 @@ grid()
 }
 
 void
-expectSameResult(const SimResult &a, const SimResult &b)
+expectSameResult(const TimingResult &a, const TimingResult &b)
 {
     EXPECT_EQ(a.policyName, b.policyName);
     EXPECT_EQ(a.cycles, b.cycles);
@@ -111,7 +106,7 @@ expectSameResult(const SimResult &a, const SimResult &b)
 
 TEST(SweepEngine, FourThreadSweepMatchesSerialReference)
 {
-    const std::vector<SimResult> ref = serialReference();
+    const std::vector<TimingResult> ref = serialReference();
     driver::SweepRunner runner(4);
     const auto results = runner.run(grid(), /*report=*/false);
 
@@ -157,9 +152,9 @@ TEST(SweepEngine, ResultsComeBackInCellOrder)
 TEST(SweepEngine, SharedTraceIndexMatchesPrivateIndex)
 {
     Workload w = buildWorkload("twolf", kScale);
-    FuncSimOptions opt;
+    FunctionalOptions opt;
     opt.recordTrace = true;
-    FuncSimResult fr = runFunctional(w.prog, opt);
+    FunctionalResult fr = runFunctional(w.prog, opt);
     ASSERT_TRUE(fr.halted);
 
     SpawnAnalysis sa(*w.module, w.prog);
@@ -167,10 +162,10 @@ TEST(SweepEngine, SharedTraceIndexMatchesPrivateIndex)
     TraceIndex shared(fr.trace);
 
     StaticSpawnSource srcPrivate(table);
-    SimResult priv =
-        simulate(MachineConfig{}, fr.trace, &srcPrivate, "postdoms");
+    TimingResult priv =
+        runTiming(MachineConfig{}, fr.trace, &srcPrivate, "postdoms");
     StaticSpawnSource srcShared(table);
-    SimResult shrd = simulate(MachineConfig{}, fr.trace, &srcShared,
+    TimingResult shrd = runTiming(MachineConfig{}, fr.trace, &srcShared,
                               "postdoms", &shared);
     expectSameResult(priv, shrd);
     EXPECT_GT(priv.spawns, 0u);

@@ -9,10 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "ir/builder.hh"
-#include "isa/functional_sim.hh"
-#include "sim/core.hh"
-#include "spawn/policy.hh"
-#include "spawn/spawn_analysis.hh"
+#include "polyflow.hh"
 
 namespace polyflow {
 namespace {
@@ -22,15 +19,15 @@ struct Built
 {
     Module mod{"t"};
     LinkedProgram prog;
-    std::unique_ptr<FuncSimResult> fr;
+    std::unique_ptr<FunctionalResult> fr;
 
     void
     finish(bool record = true)
     {
         prog = mod.link();
-        FuncSimOptions opt;
+        FunctionalOptions opt;
         opt.recordTrace = record;
-        fr = std::make_unique<FuncSimResult>(
+        fr = std::make_unique<FunctionalResult>(
             runFunctional(prog, opt));
     }
 };
@@ -58,7 +55,7 @@ TEST(FetchDetails, TakenBranchLimitThrottlesJumpChains)
         }
     }
     b.finish();
-    SimResult r = simulate(MachineConfig::superscalar(), b.fr->trace,
+    TimingResult r = runTiming(MachineConfig::superscalar(), b.fr->trace,
                            nullptr, "ss");
     EXPECT_GE(r.cycles, 200u);
 }
@@ -84,7 +81,7 @@ TEST(FetchDetails, StraightLineFetchesFullWidth)
         fb.halt();
     }
     b.finish();
-    SimResult r = simulate(MachineConfig::superscalar(), b.fr->trace,
+    TimingResult r = runTiming(MachineConfig::superscalar(), b.fr->trace,
                            nullptr, "ss");
     EXPECT_GT(r.ipc(), 3.0);
 }
@@ -101,7 +98,7 @@ TEST(FetchDetails, FrontendDepthBoundsBestCaseLatency)
     }
     b.finish();
     MachineConfig cfg = MachineConfig::superscalar();
-    SimResult r = simulate(cfg, b.fr->trace, nullptr, "ss");
+    TimingResult r = runTiming(cfg, b.fr->trace, nullptr, "ss");
     EXPECT_GE(r.cycles, std::uint64_t(cfg.frontendDepth + 1));
     EXPECT_LE(r.cycles, 200u);  // and not absurdly slow
 }
@@ -120,7 +117,7 @@ TEST(FetchDetails, ColdICacheChargesPerLine)
     }
     b.finish();
     MachineConfig cfg = MachineConfig::superscalar();
-    SimResult r = simulate(cfg, b.fr->trace, nullptr, "ss");
+    TimingResult r = runTiming(cfg, b.fr->trace, nullptr, "ss");
     EXPECT_EQ(r.icacheMisses, 8u);
     // Each cold line costs the full L1->L2->mem latency.
     EXPECT_GE(r.cycles,
@@ -171,7 +168,7 @@ TEST(FetchDetails, MispredictPenaltyHasFloor)
     }
     b.finish();
     MachineConfig cfg = MachineConfig::superscalar();
-    SimResult r = simulate(cfg, b.fr->trace, nullptr, "ss");
+    TimingResult r = runTiming(cfg, b.fr->trace, nullptr, "ss");
     ASSERT_GT(r.branchMispredicts, 100u);
     // Lower bound: mispredicts * minimum penalty.
     EXPECT_GE(r.cycles,
@@ -216,8 +213,8 @@ TEST(FetchDetails, PolyFlowFetchesFromTwoTasks)
     one.fetchTasksPerCycle = 1;
     StaticSpawnSource s1{HintTable(sa, SpawnPolicy::procFT())};
     StaticSpawnSource s2{HintTable(sa, SpawnPolicy::procFT())};
-    SimResult rTwo = simulate(two, b.fr->trace, &s1, "two");
-    SimResult rOne = simulate(one, b.fr->trace, &s2, "one");
+    TimingResult rTwo = runTiming(two, b.fr->trace, &s1, "two");
+    TimingResult rOne = runTiming(one, b.fr->trace, &s2, "one");
     EXPECT_GT(rTwo.spawns, 0u);
     // Dual-task fetch must help when fetch bandwidth is the
     // bottleneck (small predictor interactions aside).

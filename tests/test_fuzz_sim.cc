@@ -11,10 +11,7 @@
 #include <memory>
 
 #include "ir/builder.hh"
-#include "isa/functional_sim.hh"
-#include "sim/core.hh"
-#include "spawn/policy.hh"
-#include "spawn/spawn_analysis.hh"
+#include "polyflow.hh"
 #include "workloads/wl_common.hh"
 
 namespace polyflow {
@@ -155,7 +152,7 @@ class ProgramGen
  *  to exactly one bucket. Checked on fuzzed CFGs, not just the
  *  curated workloads (tests/test_accounting.cc). */
 void
-expectSlotIdentity(const SimResult &r, std::uint64_t width)
+expectSlotIdentity(const TimingResult &r, std::uint64_t width)
 {
     EXPECT_EQ(r.issueWidth, width) << r.policyName;
     EXPECT_EQ(r.slotTotal(), r.cycles * r.issueWidth)
@@ -176,7 +173,7 @@ TEST_P(SimFuzz, WholeStackInvariants)
     LinkedProgram prog = mod->link();
 
     // Functional execution terminates and is deterministic.
-    FuncSimOptions opt;
+    FunctionalOptions opt;
     opt.recordTrace = true;
     opt.maxInstrs = 2'000'000;
     auto r1 = runFunctional(prog, opt);
@@ -190,7 +187,7 @@ TEST_P(SimFuzz, WholeStackInvariants)
     SpawnAnalysis sa(*mod, prog);
 
     // Superscalar: completes, IPC within machine width.
-    SimResult ss = simulate(MachineConfig::superscalar(), r1.trace,
+    TimingResult ss = runTiming(MachineConfig::superscalar(), r1.trace,
                             nullptr, "ss");
     EXPECT_EQ(ss.instrs, r1.trace.size());
     EXPECT_GT(ss.cycles, 0u);
@@ -203,8 +200,8 @@ TEST_P(SimFuzz, WholeStackInvariants)
          {SpawnPolicy::postdoms(), SpawnPolicy::loop(),
           SpawnPolicy::loopFTPlusProcFT()}) {
         StaticSpawnSource src{HintTable(sa, pol)};
-        SimResult pf =
-            simulate(MachineConfig{}, r1.trace, &src, pol.name);
+        TimingResult pf =
+            runTiming(MachineConfig{}, r1.trace, &src, pol.name);
         EXPECT_EQ(pf.instrs, r1.trace.size()) << pol.name;
         EXPECT_LE(pf.ipc(), 16.0) << pol.name;
         EXPECT_GE(pf.tasksRetired, 1u) << pol.name;
@@ -218,7 +215,7 @@ TEST_P(SimFuzz, WholeStackInvariants)
 
     // The dynamic reconvergence source also completes.
     ReconSpawnSource rec;
-    SimResult rr = simulate(MachineConfig{}, r1.trace, &rec, "rec");
+    TimingResult rr = runTiming(MachineConfig{}, r1.trace, &rec, "rec");
     EXPECT_EQ(rr.instrs, r1.trace.size());
     expectSlotIdentity(rr, 8);
 }
@@ -228,7 +225,7 @@ TEST_P(SimFuzz, SqueezeResourcesStillCompletes)
     ProgramGen gen(GetParam() * 7777 + 23);
     auto mod = gen.generate();
     LinkedProgram prog = mod->link();
-    FuncSimOptions opt;
+    FunctionalOptions opt;
     opt.recordTrace = true;
     auto r = runFunctional(prog, opt);
     ASSERT_TRUE(r.halted);
@@ -243,7 +240,7 @@ TEST_P(SimFuzz, SqueezeResourcesStillCompletes)
     tight.robReservePerOlderTask = 8;
     tight.fetchQueueEntries = 4;
     StaticSpawnSource src{HintTable(sa, SpawnPolicy::postdoms())};
-    SimResult pf = simulate(tight, r.trace, &src, "tight");
+    TimingResult pf = runTiming(tight, r.trace, &src, "tight");
     EXPECT_EQ(pf.instrs, r.trace.size());
     // Slot accounting must stay exact even when every resource
     // (ROB, scheduler, divert queue, contexts) is squeezed.

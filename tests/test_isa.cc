@@ -49,7 +49,7 @@ TEST(ArchState, ChecksumChangesWithContent)
 }
 
 /** Build, link and functionally run a single-function program. */
-FuncSimResult
+FunctionalResult
 runProgram(const std::function<void(FunctionBuilder &, Module &)> &gen,
            bool record = false)
 {
@@ -58,7 +58,7 @@ runProgram(const std::function<void(FunctionBuilder &, Module &)> &gen,
     FunctionBuilder b(f);
     gen(b, m);
     LinkedProgram p = m.link();
-    FuncSimOptions opt;
+    FunctionalOptions opt;
     opt.recordTrace = record;
     return runFunctional(p, opt);
 }
@@ -224,7 +224,7 @@ TEST(FunctionalSim, MaxInstrsStopsRunaway)
         b.addi(reg::t0, reg::t0, 1);
         b.jump(loop);
     }
-    FuncSimOptions opt;
+    FunctionalOptions opt;
     opt.maxInstrs = 1000;
     auto r = runFunctional(m.link(), opt);
     EXPECT_FALSE(r.halted);

@@ -10,11 +10,7 @@
 
 #include <map>
 
-#include "isa/functional_sim.hh"
-#include "sim/core.hh"
-#include "spawn/policy.hh"
-#include "spawn/spawn_analysis.hh"
-#include "workloads/workloads.hh"
+#include "polyflow.hh"
 
 namespace polyflow {
 namespace {
@@ -44,18 +40,18 @@ class PaperShapes : public ::testing::Test
             };
             for (const std::string &name : allWorkloadNames()) {
                 Workload w = buildWorkload(name, shapeScale);
-                FuncSimOptions opt;
+                FunctionalOptions opt;
                 opt.recordTrace = true;
                 auto fr = runFunctional(w.prog, opt);
                 SpawnAnalysis sa(*w.module, w.prog);
-                SimResult base =
-                    simulate(MachineConfig::superscalar(), fr.trace,
+                TimingResult base =
+                    runTiming(MachineConfig::superscalar(), fr.trace,
                              nullptr, "ss");
                 Bench b;
                 b.ssIpc = base.ipc();
                 for (const SpawnPolicy &pol : policies) {
                     StaticSpawnSource src{HintTable(sa, pol)};
-                    SimResult r = simulate(MachineConfig{}, fr.trace,
+                    TimingResult r = runTiming(MachineConfig{}, fr.trace,
                                            &src, pol.name);
                     b.speedup[pol.name] = r.speedupOver(base);
                 }

@@ -13,7 +13,7 @@
 #include "sim/addr_index.hh"
 #include "sim/branch_pred.hh"
 #include "sim/cache.hh"
-#include "sim/store_sets.hh"
+#include "sim/dep_predictors.hh"
 
 namespace polyflow {
 namespace {
@@ -142,24 +142,25 @@ TEST(MemHierarchy, InstrAndDataAreSeparateL1s)
     EXPECT_EQ(h.accessData(0x9000), 1 + cfg.l1d.missLatency);
 }
 
-TEST(StoreSets, LearnsAndPredicts)
+TEST(DepPredictors, MemLearnsAndPredicts)
 {
-    StoreSetPredictor p;
-    EXPECT_FALSE(p.predictsDependence(0x100));
-    p.recordViolation(0x100, 0x80);
-    EXPECT_TRUE(p.predictsDependence(0x100));
-    EXPECT_EQ(p.storeFor(0x100), 0x80u);
+    DepPredictors p(64);
+    EXPECT_FALSE(p.predictsMemDep(16));
+    p.recordMemViolation(16);
+    EXPECT_TRUE(p.predictsMemDep(16));
+    EXPECT_FALSE(p.predictsRegDep(16));  // kinds are independent
     EXPECT_EQ(p.violationsRecorded(), 1u);
-    EXPECT_FALSE(p.predictsDependence(0x104));
+    EXPECT_FALSE(p.predictsMemDep(17));
 }
 
-TEST(RegDepPredictor, LearnsConsumers)
+TEST(DepPredictors, RegLearnsConsumers)
 {
-    RegDepPredictor p;
-    EXPECT_FALSE(p.predictsDependence(0x200));
-    p.recordViolation(0x200);
-    EXPECT_TRUE(p.predictsDependence(0x200));
-    EXPECT_EQ(p.numDependentConsumers(), 1u);
+    DepPredictors p(64);
+    EXPECT_FALSE(p.predictsRegDep(32));
+    p.recordRegViolation(32);
+    EXPECT_TRUE(p.predictsRegDep(32));
+    EXPECT_FALSE(p.predictsMemDep(32));
+    EXPECT_EQ(p.numDependent(), 1u);
 }
 
 TEST(AddrIndex, NextOccurrence)
@@ -181,7 +182,7 @@ TEST(AddrIndex, NextOccurrence)
         b.halt();
     }
     LinkedProgram p = m.link();
-    FuncSimOptions opt;
+    FunctionalOptions opt;
     opt.recordTrace = true;
     auto r = runFunctional(p, opt);
     AddrIndex idx(r.trace);

@@ -35,7 +35,7 @@ struct Traced
     Module mod{"t"};
     LinkedProgram prog;
     Trace trace;
-    std::unique_ptr<FuncSimResult> result;
+    std::unique_ptr<FunctionalResult> result;
 };
 
 Traced
@@ -69,9 +69,9 @@ makeIfThenElseLoop()
     b.setBlock(done);
     b.halt();
     t.prog = t.mod.link();
-    FuncSimOptions opt;
+    FunctionalOptions opt;
     opt.recordTrace = true;
-    t.result = std::make_unique<FuncSimResult>(
+    t.result = std::make_unique<FunctionalResult>(
         runFunctional(t.prog, opt));
     t.trace = std::move(t.result->trace);
     return t;
@@ -170,7 +170,7 @@ TEST(ReconPredictor, AgreesWithStaticIpdomsOnWorkloads)
     for (const std::string &name :
          {"crafty", "twolf", "mcf", "bzip2"}) {
         Workload w = buildWorkload(name, 0.05);
-        FuncSimOptions opt;
+        FunctionalOptions opt;
         opt.recordTrace = true;
         auto r = runFunctional(w.prog, opt);
         ReconPredictor pred;

@@ -10,21 +10,17 @@
 #include <functional>
 
 #include "ir/builder.hh"
-#include "isa/functional_sim.hh"
-#include "sim/core.hh"
-#include "spawn/policy.hh"
-#include "spawn/spawn_analysis.hh"
+#include "polyflow.hh"
 #include "workloads/wl_common.hh"
-#include "workloads/workloads.hh"
 
 namespace polyflow {
 namespace {
 
 /** Run a program functionally, recording the trace. */
-FuncSimResult
+FunctionalResult
 traceOf(const LinkedProgram &prog)
 {
-    FuncSimOptions opt;
+    FunctionalOptions opt;
     opt.recordTrace = true;
     auto r = runFunctional(prog, opt);
     EXPECT_TRUE(r.halted);
@@ -32,20 +28,20 @@ traceOf(const LinkedProgram &prog)
 }
 
 /** Superscalar run of a trace. */
-SimResult
+TimingResult
 superscalar(const Trace &t)
 {
-    return simulate(MachineConfig::superscalar(), t, nullptr, "ss");
+    return runTiming(MachineConfig::superscalar(), t, nullptr, "ss");
 }
 
 /** PolyFlow run under a given static policy. */
-SimResult
+TimingResult
 polyflow(const Workload &w, const Trace &t, const SpawnPolicy &pol,
          MachineConfig cfg = MachineConfig{})
 {
     SpawnAnalysis sa(*w.module, w.prog);
     StaticSpawnSource src(HintTable(sa, pol));
-    return simulate(cfg, t, &src, pol.name);
+    return runTiming(cfg, t, &src, pol.name);
 }
 
 TEST(TimingSim, StraightLineBasics)
@@ -60,7 +56,7 @@ TEST(TimingSim, StraightLineBasics)
     }
     LinkedProgram p = m.link();
     auto r = traceOf(p);
-    SimResult res = superscalar(r.trace);
+    TimingResult res = superscalar(r.trace);
     EXPECT_EQ(res.instrs, 65u);
     EXPECT_GT(res.cycles, 8u);           // at least width-limited
     EXPECT_LE(res.ipc(), 8.0);
@@ -100,8 +96,8 @@ TEST(TimingSim, DependentChainIsSlowerThanIndependent)
     LinkedProgram pi = ind->link();
     auto rd = traceOf(pd);
     auto ri = traceOf(pi);
-    SimResult sd = superscalar(rd.trace);
-    SimResult si = superscalar(ri.trace);
+    TimingResult sd = superscalar(rd.trace);
+    TimingResult si = superscalar(ri.trace);
     EXPECT_GT(sd.cycles, si.cycles * 2);
 }
 
@@ -138,10 +134,14 @@ TEST(TimingSim, MispredictsCostCycles)
     };
     auto hard = makeProg(true);
     auto easy = makeProg(false);
-    auto rh = traceOf(hard->link());
-    auto re = traceOf(easy->link());
-    SimResult sh = superscalar(rh.trace);
-    SimResult se = superscalar(re.trace);
+    // The trace keeps a pointer to its program: bind the linked
+    // images so they outlive the timing runs below.
+    LinkedProgram ph = hard->link();
+    LinkedProgram pe = easy->link();
+    auto rh = traceOf(ph);
+    auto re = traceOf(pe);
+    TimingResult sh = superscalar(rh.trace);
+    TimingResult se = superscalar(re.trace);
     EXPECT_GT(sh.branchMispredicts, 50u);
     EXPECT_LT(se.branchMispredicts, 20u);
     EXPECT_GT(sh.cycles, se.cycles + 8 * 40);
@@ -151,7 +151,7 @@ TEST(TimingSim, ICacheMissesAppearWithLargeFootprint)
 {
     Workload w = buildWorkload("vortex", 0.05);
     auto r = traceOf(w.prog);
-    SimResult res = superscalar(r.trace);
+    TimingResult res = superscalar(r.trace);
     EXPECT_GT(res.icacheMisses, 100u);
 }
 
@@ -159,8 +159,8 @@ TEST(TimingSim, PostdomSpawningBeatsSuperscalarOnTwolf)
 {
     Workload w = buildWorkload("twolf", 0.1);
     auto r = traceOf(w.prog);
-    SimResult ss = superscalar(r.trace);
-    SimResult pf = polyflow(w, r.trace, SpawnPolicy::postdoms());
+    TimingResult ss = superscalar(r.trace);
+    TimingResult pf = polyflow(w, r.trace, SpawnPolicy::postdoms());
     EXPECT_GT(pf.spawns, 0u);
     EXPECT_GT(pf.tasksRetired, 0u);
     EXPECT_LT(pf.cycles, ss.cycles);
@@ -170,7 +170,7 @@ TEST(TimingSim, SpawningProducesAllKindsOnTwolf)
 {
     Workload w = buildWorkload("twolf", 0.1);
     auto r = traceOf(w.prog);
-    SimResult pf = polyflow(w, r.trace, SpawnPolicy::postdoms());
+    TimingResult pf = polyflow(w, r.trace, SpawnPolicy::postdoms());
     EXPECT_GT(pf.spawnsByKind[int(SpawnKind::Hammock)], 0u);
     EXPECT_GT(pf.spawnsByKind[int(SpawnKind::LoopFT)], 0u);
     // twolf's call sites span more dynamic instructions than the
@@ -182,7 +182,7 @@ TEST(TimingSim, ProcFTSpawnsFireOnCallHeavyWorkload)
 {
     Workload w = buildWorkload("vortex", 0.1);
     auto r = traceOf(w.prog);
-    SimResult pf = polyflow(w, r.trace, SpawnPolicy::procFT());
+    TimingResult pf = polyflow(w, r.trace, SpawnPolicy::procFT());
     EXPECT_GT(pf.spawnsByKind[int(SpawnKind::ProcFT)], 0u);
 }
 
@@ -190,7 +190,7 @@ TEST(TimingSim, LoopPolicySpawnsOnlyLoopIters)
 {
     Workload w = buildWorkload("twolf", 0.1);
     auto r = traceOf(w.prog);
-    SimResult pf = polyflow(w, r.trace, SpawnPolicy::loop());
+    TimingResult pf = polyflow(w, r.trace, SpawnPolicy::loop());
     EXPECT_GT(pf.spawnsByKind[int(SpawnKind::LoopIter)], 0u);
     EXPECT_EQ(pf.spawnsByKind[int(SpawnKind::Hammock)], 0u);
     EXPECT_EQ(pf.spawnsByKind[int(SpawnKind::ProcFT)], 0u);
@@ -202,7 +202,7 @@ TEST(TimingSim, SingleTaskConfigNeverSpawns)
     auto r = traceOf(w.prog);
     MachineConfig cfg;
     cfg.numTasks = 1;
-    SimResult pf =
+    TimingResult pf =
         polyflow(w, r.trace, SpawnPolicy::postdoms(), cfg);
     EXPECT_EQ(pf.spawns, 0u);
 }
@@ -213,8 +213,8 @@ TEST(TimingSim, TaskCountBoundsSpawning)
     auto r = traceOf(w.prog);
     MachineConfig two;
     two.numTasks = 2;
-    SimResult pf2 = polyflow(w, r.trace, SpawnPolicy::postdoms(), two);
-    SimResult pf8 = polyflow(w, r.trace, SpawnPolicy::postdoms());
+    TimingResult pf2 = polyflow(w, r.trace, SpawnPolicy::postdoms(), two);
+    TimingResult pf8 = polyflow(w, r.trace, SpawnPolicy::postdoms());
     EXPECT_GT(pf8.spawns, pf2.spawns);
     // More contexts should not hurt on this loop-parallel workload.
     EXPECT_LE(pf8.cycles, pf2.cycles * 11 / 10);
@@ -224,8 +224,8 @@ TEST(TimingSim, DeterministicResults)
 {
     Workload w = buildWorkload("mcf", 0.05);
     auto r = traceOf(w.prog);
-    SimResult a = polyflow(w, r.trace, SpawnPolicy::postdoms());
-    SimResult b = polyflow(w, r.trace, SpawnPolicy::postdoms());
+    TimingResult a = polyflow(w, r.trace, SpawnPolicy::postdoms());
+    TimingResult b = polyflow(w, r.trace, SpawnPolicy::postdoms());
     EXPECT_EQ(a.cycles, b.cycles);
     EXPECT_EQ(a.spawns, b.spawns);
     EXPECT_EQ(a.violations, b.violations);
@@ -280,7 +280,7 @@ TEST(TimingSim, CrossTaskMemoryDependenceIsHonoured)
     w.name = "t";
     w.prog = p;
     w.module = std::make_unique<Module>(std::move(m));
-    SimResult pf = polyflow(w, r.trace, SpawnPolicy::loopFT());
+    TimingResult pf = polyflow(w, r.trace, SpawnPolicy::loopFT());
     // Either the machine spawned and synchronized/squashed, or it
     // found no profitable spawn; in all cases it must finish.
     EXPECT_EQ(pf.instrs, r.trace.size());
@@ -290,11 +290,12 @@ TEST(TimingSim, ViolationSquashLearnsStoreSet)
 {
     Workload w = buildWorkload("twolf", 0.1);
     auto r = traceOf(w.prog);
-    SimResult pf = polyflow(w, r.trace, SpawnPolicy::postdoms());
+    TimingResult pf = polyflow(w, r.trace, SpawnPolicy::postdoms());
     // twolf's *costptr accumulation conflicts across tasks: the
     // first conflict squashes, then the store set synchronizes.
-    if (pf.violations > 0)
+    if (pf.violations > 0) {
         EXPECT_GT(pf.instrsDiverted, 0u);
+    }
     // Violations must not dominate (the predictor must learn).
     EXPECT_LT(pf.violations, pf.spawns + 10);
 }
@@ -320,9 +321,9 @@ TEST(TimingSim, AllWorkloadsFinishUnderAllBasePolicies)
     for (const std::string &name : allWorkloadNames()) {
         Workload w = buildWorkload(name, 0.03);
         auto r = traceOf(w.prog);
-        SimResult ss = superscalar(r.trace);
+        TimingResult ss = superscalar(r.trace);
         EXPECT_EQ(ss.instrs, r.trace.size()) << name;
-        SimResult pf = polyflow(w, r.trace, SpawnPolicy::postdoms());
+        TimingResult pf = polyflow(w, r.trace, SpawnPolicy::postdoms());
         EXPECT_EQ(pf.instrs, r.trace.size()) << name;
     }
 }

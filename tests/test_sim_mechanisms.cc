@@ -9,12 +9,8 @@
 #include <gtest/gtest.h>
 
 #include "ir/builder.hh"
-#include "isa/functional_sim.hh"
-#include "sim/core.hh"
-#include "spawn/policy.hh"
-#include "spawn/spawn_analysis.hh"
+#include "polyflow.hh"
 #include "workloads/wl_common.hh"
-#include "workloads/workloads.hh"
 
 namespace polyflow {
 namespace {
@@ -22,14 +18,14 @@ namespace {
 struct Prepared
 {
     Workload w;
-    std::unique_ptr<FuncSimResult> fr;
+    std::unique_ptr<FunctionalResult> fr;
     std::unique_ptr<SpawnAnalysis> sa;
 
-    SimResult
+    TimingResult
     run(const SpawnPolicy &pol, const MachineConfig &cfg)
     {
         StaticSpawnSource src{HintTable(*sa, pol)};
-        return simulate(cfg, fr->trace, &src, pol.name);
+        return runTiming(cfg, fr->trace, &src, pol.name);
     }
 };
 
@@ -38,9 +34,9 @@ prepare(const std::string &name, double scale)
 {
     Prepared p;
     p.w = buildWorkload(name, scale);
-    FuncSimOptions opt;
+    FunctionalOptions opt;
     opt.recordTrace = true;
-    p.fr = std::make_unique<FuncSimResult>(
+    p.fr = std::make_unique<FunctionalResult>(
         runFunctional(p.w.prog, opt));
     p.sa = std::make_unique<SpawnAnalysis>(*p.w.module, p.w.prog);
     return p;
@@ -54,8 +50,8 @@ TEST(Mechanisms, GhostContextsThrottleSpawnsUnderMispredicts)
     MachineConfig on;
     MachineConfig off;
     off.wrongPathGhosts = false;
-    SimResult rOn = p.run(SpawnPolicy::loop(), on);
-    SimResult rOff = p.run(SpawnPolicy::loop(), off);
+    TimingResult rOn = p.run(SpawnPolicy::loop(), on);
+    TimingResult rOff = p.run(SpawnPolicy::loop(), off);
     EXPECT_LT(rOn.spawns, rOff.spawns);
 }
 
@@ -67,8 +63,8 @@ TEST(Mechanisms, CompilerHintsPreventViolations)
     MachineConfig hints;
     MachineConfig noHints;
     noHints.compilerDepHints = false;
-    SimResult rH = p.run(SpawnPolicy::postdoms(), hints);
-    SimResult rN = p.run(SpawnPolicy::postdoms(), noHints);
+    TimingResult rH = p.run(SpawnPolicy::postdoms(), hints);
+    TimingResult rN = p.run(SpawnPolicy::postdoms(), noHints);
     EXPECT_LT(rH.violations, rN.violations);
 }
 
@@ -114,7 +110,7 @@ TEST(Mechanisms, FeedbackDisablesUnprofitableTriggers)
         b.halt();
     }
     LinkedProgram prog = m.link();
-    FuncSimOptions opt;
+    FunctionalOptions opt;
     opt.recordTrace = true;
     auto fr = runFunctional(prog, opt);
     ASSERT_TRUE(fr.halted);
@@ -122,14 +118,14 @@ TEST(Mechanisms, FeedbackDisablesUnprofitableTriggers)
 
     MachineConfig fb;
     StaticSpawnSource s1{HintTable(sa, SpawnPolicy::loop())};
-    SimResult r = simulate(fb, fr.trace, &s1, "loop");
+    TimingResult r = runTiming(fb, fr.trace, &s1, "loop");
     EXPECT_GT(r.spawnsSkippedFeedback, 0u);
     EXPECT_GT(r.triggersDisabled, 0u);
 
     MachineConfig noFb;
     noFb.spawnFeedback = false;
     StaticSpawnSource s2{HintTable(sa, SpawnPolicy::loop())};
-    SimResult r2 = simulate(noFb, fr.trace, &s2, "loop");
+    TimingResult r2 = runTiming(noFb, fr.trace, &s2, "loop");
     EXPECT_EQ(r2.spawnsSkippedFeedback, 0u);
     EXPECT_GT(r2.spawns, r.spawns);
 }
@@ -141,8 +137,8 @@ TEST(Mechanisms, DivertReleaseDelaySlowsSynchronizedChains)
     fast.divertReleaseDelay = 0;
     MachineConfig slow;
     slow.divertReleaseDelay = 12;
-    SimResult rF = p.run(SpawnPolicy::postdoms(), fast);
-    SimResult rS = p.run(SpawnPolicy::postdoms(), slow);
+    TimingResult rF = p.run(SpawnPolicy::postdoms(), fast);
+    TimingResult rS = p.run(SpawnPolicy::postdoms(), slow);
     EXPECT_LT(rF.cycles, rS.cycles);
 }
 
@@ -151,7 +147,7 @@ TEST(Mechanisms, SpawnDistanceCapFiltersFarTargets)
     Prepared p = prepare("twolf", 0.1);
     MachineConfig tight;
     tight.maxSpawnDistance = 16;
-    SimResult r = p.run(SpawnPolicy::postdoms(), tight);
+    TimingResult r = p.run(SpawnPolicy::postdoms(), tight);
     EXPECT_GT(r.spawnsSkippedDistance, 0u);
 }
 
@@ -185,18 +181,18 @@ TEST(Mechanisms, ReturnMispredictsOnDeepRecursion)
     }
     m.entryFunction(main.id());
     LinkedProgram prog = m.link();
-    FuncSimOptions opt;
+    FunctionalOptions opt;
     opt.recordTrace = true;
     auto r = runFunctional(prog, opt);
     ASSERT_TRUE(r.halted);
-    SimResult s = simulate(MachineConfig::superscalar(), r.trace,
+    TimingResult s = runTiming(MachineConfig::superscalar(), r.trace,
                            nullptr, "ss");
     EXPECT_GT(s.returnMispredicts, 10u);
 
     // A generous RAS removes them.
     MachineConfig big = MachineConfig::superscalar();
     big.returnStackEntries = 64;
-    SimResult s2 = simulate(big, r.trace, nullptr, "ss");
+    TimingResult s2 = runTiming(big, r.trace, nullptr, "ss");
     EXPECT_EQ(s2.returnMispredicts, 0u);
 }
 
@@ -250,11 +246,11 @@ TEST(Mechanisms, IndirectTargetPredictionAccounting)
             return i;
         }());
     LinkedProgram prog = m.link();
-    FuncSimOptions opt;
+    FunctionalOptions opt;
     opt.recordTrace = true;
     auto r = runFunctional(prog, opt);
     ASSERT_TRUE(r.halted);
-    SimResult s = simulate(MachineConfig::superscalar(), r.trace,
+    TimingResult s = runTiming(MachineConfig::superscalar(), r.trace,
                            nullptr, "ss");
     EXPECT_GT(s.indirectMispredicts, 150u);
 }
@@ -263,7 +259,7 @@ TEST(Mechanisms, TasksRetiredEqualsSpawnsPlusOne)
 {
     for (const std::string &name : {"twolf", "mcf", "vortex"}) {
         Prepared p = prepare(name, 0.05);
-        SimResult r = p.run(SpawnPolicy::postdoms(), MachineConfig{});
+        TimingResult r = p.run(SpawnPolicy::postdoms(), MachineConfig{});
         EXPECT_EQ(r.tasksRetired, r.spawns + 1) << name;
     }
 }
@@ -276,8 +272,8 @@ TEST(Mechanisms, AnyTaskSpawningLiftsTailRestriction)
     MachineConfig tail;
     MachineConfig any;
     any.spawnFromAnyTask = true;
-    SimResult rT = p.run(SpawnPolicy::postdoms(), tail);
-    SimResult rA = p.run(SpawnPolicy::postdoms(), any);
+    TimingResult rT = p.run(SpawnPolicy::postdoms(), tail);
+    TimingResult rA = p.run(SpawnPolicy::postdoms(), any);
     EXPECT_EQ(rA.instrs, rT.instrs);
     EXPECT_GE(rA.spawns + 8, rT.spawns);
     EXPECT_EQ(rA.tasksRetired, rA.spawns + 1);
@@ -287,7 +283,7 @@ TEST(Mechanisms, DmtSourceSpawnsLoopAndProcFallThroughs)
 {
     Prepared p = prepare("twolf", 0.1);
     DmtSpawnSource dmt;
-    SimResult r = simulate(MachineConfig{}, p.fr->trace, &dmt, "dmt");
+    TimingResult r = runTiming(MachineConfig{}, p.fr->trace, &dmt, "dmt");
     EXPECT_EQ(r.instrs, p.fr->trace.size());
     EXPECT_GT(r.spawnsByKind[int(SpawnKind::LoopFT)], 0u);
     EXPECT_EQ(r.spawnsByKind[int(SpawnKind::Hammock)], 0u);
@@ -302,7 +298,7 @@ TEST(Mechanisms, TaskEventsAreConsistent)
     std::vector<TaskEvent> events;
     TimingSim sim(MachineConfig{}, p.fr->trace, &src);
     sim.traceTasks(&events);
-    SimResult r = sim.run("postdoms");
+    TimingResult r = sim.run("postdoms");
 
     std::uint64_t spawns = 0, retires = 0, squashes = 0;
     std::uint64_t last = 0;
@@ -323,10 +319,10 @@ TEST(Mechanisms, TaskEventsAreConsistent)
 
 TEST(Mechanisms, SpeedupArithmetic)
 {
-    SimResult base;
+    TimingResult base;
     base.cycles = 2000;
     base.instrs = 1000;
-    SimResult faster;
+    TimingResult faster;
     faster.cycles = 1000;
     faster.instrs = 1000;
     EXPECT_DOUBLE_EQ(faster.speedupOver(base), 100.0);

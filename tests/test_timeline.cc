@@ -16,11 +16,7 @@
 #include <map>
 #include <set>
 
-#include "isa/functional_sim.hh"
-#include "sim/core.hh"
-#include "spawn/policy.hh"
-#include "spawn/spawn_analysis.hh"
-#include "workloads/workloads.hh"
+#include "polyflow.hh"
 
 namespace polyflow {
 namespace {
@@ -30,7 +26,7 @@ constexpr double kScale = 0.04;
 struct TimelineRun
 {
     std::vector<TaskEvent> events;
-    SimResult res;
+    TimingResult res;
     std::uint64_t traceSize = 0;
 };
 
@@ -38,7 +34,7 @@ TimelineRun
 runWithTimeline(const std::string &name, bool dynamicSource)
 {
     Workload w = buildWorkload(name, kScale);
-    FuncSimOptions opt;
+    FunctionalOptions opt;
     opt.recordTrace = true;
     auto fr = runFunctional(w.prog, opt);
     EXPECT_TRUE(fr.halted);
@@ -171,7 +167,7 @@ TEST(Timeline, SuperscalarHasBareTimeline)
     // The baseline never spawns: its timeline is exactly one Retire
     // of the whole trace.
     Workload w = buildWorkload("mcf", kScale);
-    FuncSimOptions opt;
+    FunctionalOptions opt;
     opt.recordTrace = true;
     auto fr = runFunctional(w.prog, opt);
     ASSERT_TRUE(fr.halted);
@@ -179,7 +175,7 @@ TEST(Timeline, SuperscalarHasBareTimeline)
     std::vector<TaskEvent> events;
     TimingSim sim(MachineConfig::superscalar(), fr.trace, nullptr);
     sim.traceTasks(&events);
-    SimResult res = sim.run("superscalar");
+    TimingResult res = sim.run("superscalar");
 
     ASSERT_EQ(events.size(), 1u);
     EXPECT_EQ(events[0].kind, TaskEvent::Kind::Retire);

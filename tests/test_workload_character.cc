@@ -11,9 +11,7 @@
 
 #include <map>
 
-#include "isa/functional_sim.hh"
-#include "sim/core.hh"
-#include "workloads/workloads.hh"
+#include "polyflow.hh"
 
 namespace polyflow {
 namespace {
@@ -38,7 +36,7 @@ characterOf(const std::string &name)
         return it->second;
 
     Workload w = buildWorkload(name, 0.2);
-    FuncSimOptions opt;
+    FunctionalOptions opt;
     opt.recordTrace = true;
     auto r = runFunctional(w.prog, opt);
     Character c;
@@ -50,7 +48,7 @@ characterOf(const std::string &name)
         calls += in.isCall();
         loads += in.isLoad();
     }
-    SimResult ss = simulate(MachineConfig::superscalar(), r.trace,
+    TimingResult ss = runTiming(MachineConfig::superscalar(), r.trace,
                             nullptr, "ss");
     double n = double(r.trace.size());
     c.branchFrac = 100.0 * branches / n;

@@ -30,7 +30,7 @@ TEST_P(WorkloadTest, BuildsAndLinks)
 TEST_P(WorkloadTest, RunsToCompletion)
 {
     Workload w = buildWorkload(GetParam(), testScale);
-    FuncSimOptions opt;
+    FunctionalOptions opt;
     opt.maxInstrs = 20'000'000;
     auto r = runFunctional(w.prog, opt);
     EXPECT_TRUE(r.halted) << "did not reach HALT";
@@ -71,7 +71,7 @@ TEST_P(WorkloadTest, SpawnAnalysisFindsPoints)
 TEST_P(WorkloadTest, TraceRecordingWorks)
 {
     Workload w = buildWorkload(GetParam(), 0.02);
-    FuncSimOptions opt;
+    FunctionalOptions opt;
     opt.recordTrace = true;
     auto r = runFunctional(w.prog, opt);
     ASSERT_TRUE(r.halted);
