@@ -46,7 +46,8 @@ main(int argc, char **argv)
                              MachineConfig{}, p.name});
         }
     }
-    driver::SweepRunner runner(driver::jobsFromArgs(argc, argv));
+    driver::SweepRunner runner(driver::jobsFromArgs(argc, argv),
+                               driver::batchWidthFromArgs(argc, argv));
     const auto results = runner.run(cells);
 
     std::vector<std::string> header = {"benchmark"};

@@ -1,16 +1,28 @@
 /**
  * @file
- * Timing-simulator throughput microbenchmark: simulated committed
- * instructions per second of wall-clock, for the superscalar
- * baseline and the postdoms PolyFlow configuration, on three
- * workloads of different character. Run it before and after touching
- * TimingSim hot paths (taskOf/taskPosOf, the store-consumer index,
- * AddrIndex); the aggregate number is appended-free-rewritten to
+ * Timing-simulator throughput microbenchmark, scalar vs batched.
+ *
+ * For each (workload, config) it simulates the same W machines (one
+ * trace, W fresh spawn sources) twice: one at a time through the
+ * scalar TimingSim::run reference path, and as one batch through the
+ * stage-major MachineBatch engine. The metric is machine-cycles per
+ * second of wall-clock — both paths simulate identical cycles (the
+ * bench asserts it), so the ratio isolates what the batch backend
+ * amortizes: the per-cycle scheduler sort, mid-vector erases and
+ * per-cycle allocation. Run it before and after touching TimingSim
+ * hot paths; the comparison table is rewritten to
  * results/micro_timing_sim.txt so regressions are visible in review.
+ *
+ * Knobs: --batch N (batch width, default PF_BENCH_BATCH or 8),
+ * --require-batch-speedup X (exit 1 unless batched/scalar >= X; the
+ * release-mode CI smoke job uses it), PF_BENCH_SCALE.
  */
 
+#include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "bench_util.hh"
 #include "polyflow.hh"
@@ -18,115 +30,242 @@
 using namespace polyflow;
 using namespace polyflow::bench;
 
+namespace {
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now()
+                   .time_since_epoch())
+        .count();
+}
+
+/** `--require-batch-speedup X` from the command line, else 0 (no
+ *  enforcement). */
+double
+requiredSpeedup(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *val = nullptr;
+        if (std::strcmp(arg, "--require-batch-speedup") == 0 &&
+            i + 1 < argc) {
+            val = argv[i + 1];
+        } else if (std::strncmp(arg, "--require-batch-speedup=",
+                                24) == 0) {
+            val = arg + 24;
+        }
+        if (val) {
+            if (auto v = driver::parsePositiveDouble(val))
+                return *v;
+            std::fprintf(stderr,
+                         "--require-batch-speedup: expected a "
+                         "positive number, got \"%s\"\n",
+                         val);
+            std::exit(2);
+        }
+    }
+    return 0.0;
+}
+
+struct PathTiming
+{
+    double bestSeconds = 0.0;
+    std::uint64_t machineCycles = 0;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    banner("Micro: timing-simulator throughput "
-           "(simulated instrs/sec)");
+    banner("Micro: timing-simulator throughput, scalar vs batched "
+           "(machine-cycles/sec)");
 
     const std::vector<std::string> workloads = {"twolf", "mcf",
                                                 "gcc"};
     const double scale = benchScale();
+    const int width = driver::batchWidthFromArgs(argc, argv);
+    const double require = requiredSpeedup(argc, argv);
     const int reps = 3;  //!< best-of to damp scheduler noise
 
-    // Grid: reps identical runs per (workload, config); the cache
-    // guarantees each workload still traces once.
-    std::vector<driver::SweepCell> cells;
-    for (const std::string &wl : workloads) {
-        for (int r = 0; r < reps; ++r) {
-            cells.push_back({wl, scale,
-                             driver::SourceSpec::baseline(),
-                             MachineConfig::superscalar(),
-                             "superscalar"});
-        }
-        for (int r = 0; r < reps; ++r) {
-            cells.push_back({wl, scale,
-                             driver::SourceSpec::statics(
-                                 SpawnPolicy::postdoms()),
-                             MachineConfig{},
-                             SpawnPolicy::postdoms().name});
-        }
-    }
-    // Throughput numbers are only comparable when cells run alone:
-    // force one job regardless of PF_BENCH_JOBS.
-    (void)argc;
-    (void)argv;
-    driver::SweepRunner runner(1);
-    const auto results = runner.run(cells);
+    std::cout << "batch width: " << width << ", best of " << reps
+              << " reps\n\n";
 
-    Table t({"workload", "config", "instrs", "best s",
-             "instrs/sec"});
-    double sumRate = 0;
-    int rows = 0;
-    size_t idx = 0;
+    struct Setup
+    {
+        const char *label;
+        MachineConfig config;
+        driver::SourceSpec spec;
+    };
+    const std::vector<Setup> setups = {
+        {"superscalar", MachineConfig::superscalar(),
+         driver::SourceSpec::baseline()},
+        {"postdoms", MachineConfig{},
+         driver::SourceSpec::statics(SpawnPolicy::postdoms())},
+    };
+
+    Table t({"workload", "config", "machines", "scalar s",
+             "batched s", "scalar Mc/s", "batched Mc/s", "speedup"});
+    StageProfile scalarProf, batchProf;
+    std::uint64_t scalarCycles = 0, batchCycles = 0;
+    double scalarSeconds = 0.0, batchSeconds = 0.0;
+    std::ostringstream fileTable;
+
     for (const std::string &wl : workloads) {
-        for (const char *cfg : {"superscalar", "postdoms"}) {
-            double best = results[idx].wallSeconds;
-            std::uint64_t instrs = results[idx].sim.instrs;
-            for (int r = 0; r < reps; ++r, ++idx)
-                best = std::min(best, results[idx].wallSeconds);
-            double rate = best > 0 ? double(instrs) / best : 0.0;
-            sumRate += rate;
-            ++rows;
+        Session s = Session::open(wl, scale);
+        for (const Setup &setup : setups) {
+            // Scalar reference: the W machines one at a time.
+            // Sources train, so every rep prepares fresh ones.
+            PathTiming scalar;
+            for (int r = 0; r < reps; ++r) {
+                std::vector<PreparedRun> runs;
+                for (int m = 0; m < width; ++m)
+                    runs.push_back(
+                        s.prepare(setup.spec, setup.label));
+                std::uint64_t cycles = 0;
+                double t0 = now();
+                for (PreparedRun &run : runs) {
+                    TimingSim sim(setup.config, run.trace(),
+                                  run.source.get(),
+                                  run.index.get());
+                    if (r == 0)
+                        sim.profileStages(&scalarProf);
+                    cycles += sim.run(run.label).cycles;
+                }
+                double wall = now() - t0;
+                if (r == 0 || wall < scalar.bestSeconds)
+                    scalar.bestSeconds = wall;
+                scalar.machineCycles = cycles;
+            }
+
+            // Batched: the same W machines, one stage-major batch.
+            PathTiming batched;
+            for (int r = 0; r < reps; ++r) {
+                std::vector<PreparedRun> runs;
+                for (int m = 0; m < width; ++m)
+                    runs.push_back(
+                        s.prepare(setup.spec, setup.label));
+                std::vector<BatchItem> items;
+                for (const PreparedRun &run : runs)
+                    items.push_back(run.item());
+                double t0 = now();
+                const auto out = TimingSim::runBatch(
+                    setup.config, items,
+                    r == 0 ? &batchProf : nullptr);
+                double wall = now() - t0;
+                std::uint64_t cycles = 0;
+                for (const TimingResult &res : out)
+                    cycles += res.cycles;
+                if (r == 0 || wall < batched.bestSeconds)
+                    batched.bestSeconds = wall;
+                batched.machineCycles = cycles;
+            }
+
+            if (scalar.machineCycles != batched.machineCycles) {
+                std::cerr << "FAIL: batched cycles diverge from "
+                          << "scalar for " << wl << "/"
+                          << setup.label << ": "
+                          << batched.machineCycles << " vs "
+                          << scalar.machineCycles << "\n";
+                return 1;
+            }
+
+            double sRate = scalar.bestSeconds > 0
+                ? double(scalar.machineCycles) / scalar.bestSeconds
+                : 0.0;
+            double bRate = batched.bestSeconds > 0
+                ? double(batched.machineCycles) /
+                    batched.bestSeconds
+                : 0.0;
+            double speedup = sRate > 0 ? bRate / sRate : 0.0;
+            scalarCycles += scalar.machineCycles;
+            batchCycles += batched.machineCycles;
+            scalarSeconds += scalar.bestSeconds;
+            batchSeconds += batched.bestSeconds;
+
             t.startRow();
             t.cell(wl);
-            t.cell(std::string(cfg));
-            t.cell((long long)instrs);
-            t.cell(best, 4);
-            t.cell(rate, 0);
+            t.cell(std::string(setup.label));
+            t.cell((long long)width);
+            t.cell(scalar.bestSeconds, 4);
+            t.cell(batched.bestSeconds, 4);
+            t.cell(sRate / 1e6, 2);
+            t.cell(bRate / 1e6, 2);
+            t.cell(speedup, 2);
+            fileTable << wl << " " << setup.label << " width "
+                      << width << " scalar_mcps "
+                      << sRate / 1e6 << " batched_mcps "
+                      << bRate / 1e6 << " speedup " << speedup
+                      << "\n";
         }
     }
     t.print(std::cout);
 
-    double meanRate = rows ? sumRate / rows : 0.0;
-    std::cout << "\nmean timing-sim throughput: " << meanRate
-              << " simulated instrs/sec\n";
+    double aggScalar =
+        scalarSeconds > 0 ? double(scalarCycles) / scalarSeconds
+                          : 0.0;
+    double aggBatch =
+        batchSeconds > 0 ? double(batchCycles) / batchSeconds : 0.0;
+    double aggSpeedup = aggScalar > 0 ? aggBatch / aggScalar : 0.0;
+    std::cout << "\naggregate: scalar " << aggScalar / 1e6
+              << " Mcycles/s, batched " << aggBatch / 1e6
+              << " Mcycles/s, speedup " << aggSpeedup << "x\n";
 
-    // Per-stage breakdown: one profiled run per (workload, config),
-    // reporting each stage module's share of simulator wall time.
-    // Profiled runs pay for the timestamping, so they are separate
-    // from the throughput grid above.
-    std::cout << "\nper-stage share of simulator time (%):\n";
-    Table bt({"workload", "config", "commit", "account", "divert",
-              "issue", "rename", "fetch", "recover"});
-    for (const std::string &wl : workloads) {
-        Session s = Session::open(wl, scale);
-        for (const char *label : {"superscalar", "postdoms"}) {
-            bool pf = std::string(label) == "postdoms";
-            std::unique_ptr<StaticSpawnSource> src;
-            if (pf) {
-                src = std::make_unique<StaticSpawnSource>(
-                    *s.hints(SpawnPolicy::postdoms()));
-            }
-            TimingSim sim(pf ? MachineConfig{}
-                             : MachineConfig::superscalar(),
-                          s.trace(), src.get());
-            StageProfile prof;
-            sim.profileStages(&prof);
-            sim.run(label);
-            const double total = double(
-                prof.commitNs + prof.accountingNs + prof.divertNs +
-                prof.issueNs + prof.renameNs + prof.fetchNs +
-                prof.recoveryNs);
-            auto pct = [&](std::uint64_t ns) {
-                return total > 0 ? 100.0 * double(ns) / total : 0.0;
-            };
+    // Per-stage breakdown of both paths, from the first rep of each
+    // cell above. A batched profile spans every machine of the
+    // batch; ns/kcycle divides by profiled machine-cycles, so the
+    // per-machine cost is comparable across paths and widths.
+    auto breakdown = [](const char *path,
+                        const StageProfile &prof) {
+        std::cout << "\n" << path << " per-stage breakdown ("
+                  << prof.machines << " machine(s), "
+                  << prof.cycles << " machine-cycles):\n";
+        Table bt({"stage", "share %", "ns/kcycle"});
+        const struct
+        {
+            const char *name;
+            std::uint64_t ns;
+        } rows[] = {
+            {"commit", prof.commitNs},
+            {"account", prof.accountingNs},
+            {"divert", prof.divertNs},
+            {"issue", prof.issueNs},
+            {"rename", prof.renameNs},
+            {"fetch", prof.fetchNs},
+            {"recover", prof.recoveryNs},
+        };
+        double total = double(prof.totalNs());
+        for (const auto &r : rows) {
             bt.startRow();
-            bt.cell(wl);
-            bt.cell(std::string(label));
-            bt.cell(pct(prof.commitNs), 1);
-            bt.cell(pct(prof.accountingNs), 1);
-            bt.cell(pct(prof.divertNs), 1);
-            bt.cell(pct(prof.issueNs), 1);
-            bt.cell(pct(prof.renameNs), 1);
-            bt.cell(pct(prof.fetchNs), 1);
-            bt.cell(pct(prof.recoveryNs), 1);
+            bt.cell(std::string(r.name));
+            bt.cell(total > 0 ? 100.0 * double(r.ns) / total : 0.0,
+                    1);
+            bt.cell(prof.cycles > 0
+                        ? 1e3 * double(r.ns) / double(prof.cycles)
+                        : 0.0,
+                    1);
         }
-    }
-    bt.print(std::cout);
+        bt.print(std::cout);
+    };
+    breakdown("scalar", scalarProf);
+    breakdown("batched", batchProf);
 
     std::filesystem::create_directories("results");
     std::ofstream out("results/micro_timing_sim.txt");
-    out << "mean_simulated_instrs_per_sec " << meanRate << "\n";
+    out << "batch_width " << width << "\n"
+        << fileTable.str()
+        << "aggregate_scalar_mcycles_per_sec " << aggScalar / 1e6
+        << "\n"
+        << "aggregate_batched_mcycles_per_sec " << aggBatch / 1e6
+        << "\n"
+        << "batched_over_scalar_speedup " << aggSpeedup << "\n";
+
+    if (require > 0 && aggSpeedup < require) {
+        std::cerr << "FAIL: batched/scalar speedup " << aggSpeedup
+                  << " below required " << require << "\n";
+        return 1;
+    }
     return 0;
 }

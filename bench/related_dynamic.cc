@@ -37,7 +37,8 @@ main(int argc, char **argv)
                          MachineConfig{},
                          SpawnPolicy::postdoms().name});
     }
-    driver::SweepRunner runner(driver::jobsFromArgs(argc, argv));
+    driver::SweepRunner runner(driver::jobsFromArgs(argc, argv),
+                               driver::batchWidthFromArgs(argc, argv));
     const auto results = runner.run(cells);
 
     Table t({"benchmark", "DMT", "rec_pred", "postdoms"});

@@ -113,40 +113,47 @@ Session::simulate(const MachineConfig &config,
     return simulate(config, spec, policy.name, options);
 }
 
+PreparedRun
+Session::prepare(const driver::SourceSpec &source,
+                 const std::string &label) const
+{
+    PreparedRun run;
+    run.traced = _cache->traced(_name, _scale);
+    run.label = label;
+    switch (source.kind) {
+      case driver::SourceSpec::Kind::Baseline:
+        break;
+      case driver::SourceSpec::Kind::Static:
+        run.source = std::make_shared<SharedHintSource>(
+            _cache->hints(_name, _scale, source.policy));
+        run.index = _cache->traceIndex(_name, _scale);
+        break;
+      case driver::SourceSpec::Kind::Recon:
+        run.source = std::make_shared<ReconSpawnSource>();
+        run.index = _cache->traceIndex(_name, _scale);
+        break;
+      case driver::SourceSpec::Kind::Dmt:
+        run.source = std::make_shared<DmtSpawnSource>();
+        run.index = _cache->traceIndex(_name, _scale);
+        break;
+    }
+    return run;
+}
+
 TimingResult
 Session::simulate(const MachineConfig &config,
                   const driver::SourceSpec &source,
                   const std::string &label,
                   const RunOptions &options)
 {
-    auto tw = _cache->traced(_name, _scale);
-
-    std::shared_ptr<SpawnSource> src;
-    std::shared_ptr<const TraceIndex> index;
-    switch (source.kind) {
-      case driver::SourceSpec::Kind::Baseline:
-        break;
-      case driver::SourceSpec::Kind::Static:
-        src = std::make_shared<SharedHintSource>(
-            _cache->hints(_name, _scale, source.policy));
-        index = _cache->traceIndex(_name, _scale);
-        break;
-      case driver::SourceSpec::Kind::Recon:
-        src = std::make_shared<ReconSpawnSource>();
-        index = _cache->traceIndex(_name, _scale);
-        break;
-      case driver::SourceSpec::Kind::Dmt:
-        src = std::make_shared<DmtSpawnSource>();
-        index = _cache->traceIndex(_name, _scale);
-        break;
-    }
-
-    TimingSim sim(config, tw->trace, src.get(), index.get());
+    PreparedRun run = prepare(source, label);
+    TimingSim sim(config, run.trace(), run.source.get(),
+                  run.index.get());
     if (options.events)
         sim.traceTasks(options.events);
     TimingResult res = sim.run(label);
     if (options.sourceOut)
-        *options.sourceOut = std::move(src);
+        *options.sourceOut = std::move(run.source);
     return res;
 }
 

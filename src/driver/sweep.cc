@@ -137,8 +137,9 @@ SweepCache::hints(const std::string &name, double scale,
     });
 }
 
-SweepRunner::SweepRunner(int jobs)
+SweepRunner::SweepRunner(int jobs, int batchWidth)
     : _jobs(jobs > 0 ? jobs : defaultJobs()),
+      _batchWidth(batchWidth > 0 ? batchWidth : defaultBatchWidth()),
       _cache(std::make_shared<SweepCache>())
 {
     _cache->attachStore(store::ArtifactStore::openFromEnv());
@@ -161,6 +162,43 @@ SweepRunner::runCell(const SweepCell &cell)
             std::chrono::steady_clock::now() - t0)
             .count();
     return out;
+}
+
+void
+SweepRunner::runGroup(const std::vector<SweepCell> &cells,
+                      const std::vector<size_t> &indices,
+                      std::vector<CellResult> &out)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    // Resolving inputs goes through the shared cache (thread-safe,
+    // build-once), so concurrent groups over one workload still
+    // trace it exactly once.
+    std::vector<PreparedRun> runs;
+    runs.reserve(indices.size());
+    for (size_t i : indices) {
+        Session session =
+            Session::open(cells[i].workload, cells[i].scale, _cache);
+        runs.push_back(
+            session.prepare(cells[i].source, cells[i].label));
+    }
+    std::vector<BatchItem> items;
+    items.reserve(runs.size());
+    for (const PreparedRun &r : runs)
+        items.push_back(r.item());
+    std::vector<TimingResult> results = TimingSim::runBatch(
+        cells[indices.front()].config, items);
+    // Machines of one batch interleave, so per-cell wall time is
+    // only meaningful as the group average.
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count() /
+        double(indices.size());
+    for (size_t k = 0; k < indices.size(); ++k) {
+        CellResult &cr = out[indices[k]];
+        cr.sim = std::move(results[k]);
+        cr.wallSeconds = wall;
+        cr.source = std::move(runs[k].source);
+    }
 }
 
 void
@@ -212,8 +250,59 @@ SweepRunner::run(const std::vector<SweepCell> &cells, bool report)
 {
     std::vector<CellResult> results(cells.size());
     auto t0 = std::chrono::steady_clock::now();
-    parallelFor(cells.size(),
-                [&](size_t i) { results[i] = runCell(cells[i]); });
+    if (_batchWidth <= 1) {
+        // Scalar reference path: one TimingSim::run per cell.
+        parallelFor(cells.size(), [&](size_t i) {
+            results[i] = runCell(cells[i]);
+        });
+    } else {
+        // Group cells sharing a (workload, scale, MachineConfig) —
+        // in cell order — chunk each group into batches of at most
+        // _batchWidth machines, and run the batches on the pool.
+        // A batch legally needs only a common config, but machines
+        // over one shared trace also share its read-only working
+        // set (trace, indexes, hint tables), which is where the
+        // stage-major loop's cache locality comes from; batching
+        // machines over *different* multi-MB traces thrashes the
+        // LLC instead (docs/PERFORMANCE.md). Results land at their
+        // original indices, so downstream printing is unchanged.
+        struct GroupKey
+        {
+            const SweepCell *cell;
+            bool
+            matches(const SweepCell &c) const
+            {
+                return cell->workload == c.workload &&
+                    cell->scale == c.scale &&
+                    cell->config == c.config;
+            }
+        };
+        std::vector<GroupKey> keys;
+        std::vector<std::vector<size_t>> groups;
+        for (size_t i = 0; i < cells.size(); ++i) {
+            size_t g = 0;
+            while (g < keys.size() && !keys[g].matches(cells[i]))
+                ++g;
+            if (g == keys.size()) {
+                keys.push_back({&cells[i]});
+                groups.emplace_back();
+            }
+            groups[g].push_back(i);
+        }
+        std::vector<std::vector<size_t>> batches;
+        for (const std::vector<size_t> &g : groups) {
+            for (size_t off = 0; off < g.size();
+                 off += size_t(_batchWidth)) {
+                size_t end = std::min(g.size(),
+                                      off + size_t(_batchWidth));
+                batches.emplace_back(g.begin() + long(off),
+                                     g.begin() + long(end));
+            }
+        }
+        parallelFor(batches.size(), [&](size_t b) {
+            runGroup(cells, batches[b], results);
+        });
+    }
     double wall = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
@@ -235,9 +324,11 @@ SweepRunner::run(const std::vector<SweepCell> &cells, bool report)
                              results[i].sim.instrs));
         }
         std::fprintf(stderr,
-                     "[sweep] %zu cells on %d job(s): %.3fs wall "
-                     "(%.3fs in cells), %.0f simulated instrs/sec\n",
-                     cells.size(), _jobs, wall, cellSeconds,
+                     "[sweep] %zu cells on %d job(s) x batch width "
+                     "%d: %.3fs wall (%.3fs in cells), %.0f "
+                     "simulated instrs/sec\n",
+                     cells.size(), _jobs, _batchWidth, wall,
+                     cellSeconds,
                      wall > 0 ? double(instrs) / wall : 0.0);
         // Cache-tier accounting: the warm-cache CI job greps for
         // "cache: 0 traces built" on a second run, so keep the
@@ -330,6 +421,58 @@ jobsFromArgs(int argc, char **argv)
             return parse(arg + 7);
     }
     return defaultJobs();
+}
+
+int
+defaultBatchWidth()
+{
+    if (const char *env = std::getenv("PF_BENCH_BATCH")) {
+        char *end = nullptr;
+        errno = 0;
+        long v = std::strtol(env, &end, 10);
+        if (errno != 0 || end == env || *end != '\0' || v < 1 ||
+            v > 4096) {
+            std::fprintf(stderr,
+                         "PF_BENCH_BATCH: expected a positive "
+                         "integer, got \"%s\"\n",
+                         env);
+            std::exit(2);
+        }
+        return static_cast<int>(v);
+    }
+    return 8;
+}
+
+int
+batchWidthFromArgs(int argc, char **argv)
+{
+    auto parse = [](const char *text) {
+        char *end = nullptr;
+        errno = 0;
+        long v = std::strtol(text, &end, 10);
+        if (errno != 0 || end == text || *end != '\0' || v < 1 ||
+            v > 4096) {
+            std::fprintf(stderr,
+                         "--batch: expected a positive integer, got "
+                         "\"%s\"\n",
+                         text);
+            std::exit(2);
+        }
+        return static_cast<int>(v);
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--batch") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--batch: missing value\n");
+                std::exit(2);
+            }
+            return parse(argv[i + 1]);
+        }
+        if (std::strncmp(arg, "--batch=", 8) == 0)
+            return parse(arg + 8);
+    }
+    return defaultBatchWidth();
 }
 
 std::optional<double>

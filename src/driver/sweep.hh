@@ -233,14 +233,30 @@ class SweepRunner
   public:
     /**
      * @param jobs worker count; <= 0 selects defaultJobs().
+     * @param batchWidth max machines per batched simulation; <= 0
+     *        selects defaultBatchWidth(). Width 1 runs every cell
+     *        through the scalar TimingSim::run reference path.
+     *
+     * Cells that share a (workload, scale, MachineConfig) triple are
+     * grouped into batches of up to @p batchWidth machines and run
+     * through the stage-major batch engine (sim/batch.hh), one batch
+     * per worker — total concurrency is jobs x batch width machines.
+     * Grouping requires the same workload, not just the same config,
+     * so a batch's machines replay one shared read-only trace
+     * instead of multiplying the resident trace bytes by the width.
+     * Batched results
+     * are cycle-identical to scalar runs, so stdout stays
+     * byte-identical across widths (and the CI sha256 check holds
+     * the two paths to that).
      *
      * The runner's cache gets the environment-selected persistent
      * store attached (PF_CACHE_DIR; "off" disables), so warm bench
      * reruns skip every functional simulation.
      */
-    explicit SweepRunner(int jobs = 0);
+    explicit SweepRunner(int jobs = 0, int batchWidth = 0);
 
     int jobs() const { return _jobs; }
+    int batchWidth() const { return _batchWidth; }
     SweepCache &cache() { return *_cache; }
     /** Shareable handle, e.g. for Session::open over this cache. */
     const std::shared_ptr<SweepCache> &cacheHandle() const
@@ -267,8 +283,15 @@ class SweepRunner
 
   private:
     CellResult runCell(const SweepCell &cell);
+    /** Run the cells at @p indices (all sharing one workload, scale
+     *  and MachineConfig) as one batch, writing each result at its
+     *  original index. */
+    void runGroup(const std::vector<SweepCell> &cells,
+                  const std::vector<size_t> &indices,
+                  std::vector<CellResult> &out);
 
     int _jobs;
+    int _batchWidth;
     std::shared_ptr<SweepCache> _cache;
 };
 
@@ -293,6 +316,21 @@ int defaultJobs();
  * values.
  */
 int jobsFromArgs(int argc, char **argv);
+
+/**
+ * Batch width from the environment: PF_BENCH_BATCH if set (must be
+ * a positive integer; 1 forces the scalar reference path), else 8 —
+ * wide enough to amortize the stage-major loop, small enough that a
+ * sweep grid still splits across jobs.
+ */
+int defaultBatchWidth();
+
+/**
+ * Batch width from the command line: `--batch N` or `--batch=N`
+ * overrides defaultBatchWidth(). Exits with a clear error on
+ * malformed values.
+ */
+int batchWidthFromArgs(int argc, char **argv);
 
 /**
  * Strict positive-double parser for environment knobs: the full

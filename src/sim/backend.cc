@@ -4,6 +4,97 @@
 
 namespace polyflow::sim {
 
+namespace {
+
+/**
+ * Wakeup/select/execute for one scheduler entry: check operand and
+ * memory-ordering readiness, then execute on a FU, recording any
+ * dependence violations for the recovery stage. @p t is the task
+ * owning @p i (nullptr if none). Returns true if the entry issued —
+ * the caller frees its scheduler slot and spends one FU.
+ */
+bool
+tryIssue(MachineState &m, TraceIdx i, Task *t)
+{
+    InstrState &s = m.istate[i];
+    const DynInstr &d = m.trace->instrs[i];
+    const LinkedInstr &li = m.staticOf(i);
+
+    // Register operands: synchronized producers must be
+    // complete; an unsynchronized (unpredicted) cross-task
+    // producer lets the consumer issue with a stale value,
+    // which is a dependence violation.
+    bool ready = true;
+    bool staleRegRead = false;
+    RegId srcs[2];
+    int nsrc = li.instr.srcRegs(srcs);
+    for (int k = 0; k < nsrc; ++k) {
+        TraceIdx p = d.prod[k];
+        if (p == invalidTrace || m.doneAt(p, m.now))
+            continue;
+        bool same_task = t && p >= t->begin;
+        bool hinted = t && m.cfg.compilerDepHints &&
+            ((t->depMask >> srcs[k]) & 1);
+        if (same_task || hinted ||
+            m.depPred.predictsRegDep(d.img)) {
+            ready = false;
+        } else {
+            staleRegRead = true;
+        }
+    }
+
+    // Memory ordering for loads.
+    bool speculativeLoad = false;
+    if (ready && li.instr.isLoad() &&
+        d.memProd != invalidTrace &&
+        m.istate[d.memProd].stage != InstrStage::Committed) {
+        if (t && m.loadSyncNeeded(i, d, *t)) {
+            if (!m.doneAt(d.memProd, m.now))
+                ready = false;
+        } else if (!m.doneAt(d.memProd, m.now)) {
+            // Unsynchronized cross-task load issuing before the
+            // conflicting store has produced its data.
+            speculativeLoad = true;
+        }
+    }
+
+    if (!ready)
+        return false;
+    if (staleRegRead)
+        m.pendingViolations.push_back({i, invalidTrace});
+
+    // Issue.
+    s.stage = InstrStage::Issued;
+    if (li.instr.isLoad()) {
+        int lat = m.hier.accessData(d.effAddr);
+        s.completeCycle = m.now + m.cfg.loadLatency + (lat - 1);
+    } else if (li.instr.isStore()) {
+        m.hier.accessData(d.effAddr);
+        s.completeCycle = m.now + 1;
+        // A store executing after dependent cross-task loads
+        // have already issued is a dependence violation.
+        if (m.index) {
+            for (TraceIdx l : m.index->consumersOf(i)) {
+                if (m.istate[l].stage == InstrStage::Issued &&
+                    (!t || l >= t->end)) {
+                    m.pendingViolations.push_back({l, i});
+                }
+            }
+        }
+    } else {
+        s.completeCycle = m.now + m.execLatency(li);
+    }
+    if (speculativeLoad &&
+        m.istate[d.memProd].stage == InstrStage::Issued &&
+        m.istate[d.memProd].completeCycle > m.now) {
+        // Load read stale data while the store is in flight.
+        m.pendingViolations.push_back({i, d.memProd});
+    }
+    return true;
+}
+
+} // namespace
+
 void
 Backend::releaseDiverted(MachineState &m)
 {
@@ -51,90 +142,115 @@ Backend::issue(MachineState &m)
     for (auto it = m.sched.begin();
          it != m.sched.end() && fu > 0;) {
         TraceIdx i = *it;
-        InstrState &s = m.istate[i];
-        if (s.stage != InstrStage::InSched) {
+        if (m.istate[i].stage != InstrStage::InSched) {
             it = m.sched.erase(it);  // squashed while scheduled
             continue;
         }
-        const DynInstr &d = m.trace->instrs[i];
-        const LinkedInstr &li = m.staticOf(i);
-        Task *t = m.taskOf(i);
-
-        // Register operands: synchronized producers must be
-        // complete; an unsynchronized (unpredicted) cross-task
-        // producer lets the consumer issue with a stale value,
-        // which is a dependence violation.
-        bool ready = true;
-        bool staleRegRead = false;
-        RegId srcs[2];
-        int nsrc = li.instr.srcRegs(srcs);
-        for (int k = 0; k < nsrc; ++k) {
-            TraceIdx p = d.prod[k];
-            if (p == invalidTrace || m.doneAt(p, m.now))
-                continue;
-            bool same_task = t && p >= t->begin;
-            bool hinted = t && m.cfg.compilerDepHints &&
-                ((t->depMask >> srcs[k]) & 1);
-            if (same_task || hinted ||
-                m.depPred.predictsRegDep(d.img)) {
-                ready = false;
-            } else {
-                staleRegRead = true;
-            }
-        }
-
-        // Memory ordering for loads.
-        bool speculativeLoad = false;
-        if (ready && li.instr.isLoad() &&
-            d.memProd != invalidTrace &&
-            m.istate[d.memProd].stage != InstrStage::Committed) {
-            if (t && m.loadSyncNeeded(i, d, *t)) {
-                if (!m.doneAt(d.memProd, m.now))
-                    ready = false;
-            } else if (!m.doneAt(d.memProd, m.now)) {
-                // Unsynchronized cross-task load issuing before the
-                // conflicting store has produced its data.
-                speculativeLoad = true;
-            }
-        }
-
-        if (!ready) {
+        if (tryIssue(m, i, m.taskOf(i))) {
+            it = m.sched.erase(it);
+            --fu;
+        } else {
             ++it;
+        }
+    }
+}
+
+void
+Backend::releaseDivertedCompact(MachineState &m)
+{
+    int budget = m.cfg.pipelineWidth;
+    std::vector<DivertEntry> &q = m.divert;
+    _divertKeep.clear();
+    size_t j = 0;
+    for (; j < q.size() && budget > 0; ++j) {
+        DivertEntry e = q[j];
+        TraceIdx i = e.idx;
+        if (m.istate[i].stage != InstrStage::Diverted)
+            continue;  // squashed while diverted: drop
+        Task &t = m.tasks[m.taskPosOf(i)];
+        const DynInstr &d = m.trace->instrs[i];
+
+        if (m.divertHolds(i, d, t)) {
+            e.readyAt = 0;  // wake-up condition not met (yet)
+            _divertKeep.push_back(e);
             continue;
         }
-        if (staleRegRead)
-            m.pendingViolations.push_back({i, invalidTrace});
-
-        // Issue.
-        s.stage = InstrStage::Issued;
-        if (li.instr.isLoad()) {
-            int lat = m.hier.accessData(d.effAddr);
-            s.completeCycle = m.now + m.cfg.loadLatency + (lat - 1);
-        } else if (li.instr.isStore()) {
-            m.hier.accessData(d.effAddr);
-            s.completeCycle = m.now + 1;
-            // A store executing after dependent cross-task loads
-            // have already issued is a dependence violation.
-            if (m.index) {
-                Task *st = m.taskOf(i);
-                for (TraceIdx l : m.index->consumersOf(i)) {
-                    if (m.istate[l].stage == InstrStage::Issued &&
-                        (!st || l >= st->end)) {
-                        m.pendingViolations.push_back({l, i});
-                    }
-                }
-            }
+        if (e.readyAt == 0)
+            e.readyAt = m.now + m.cfg.divertReleaseDelay;
+        if (m.now >= e.readyAt &&
+            static_cast<int>(m.sched.size()) <
+                m.cfg.schedEntries) {
+            m.istate[i].stage = InstrStage::InSched;
+            m.sched.push_back(i);
+            --budget;
         } else {
-            s.completeCycle = m.now + m.execLatency(li);
+            _divertKeep.push_back(e);
         }
-        if (speculativeLoad &&
-            m.istate[d.memProd].stage == InstrStage::Issued &&
-            m.istate[d.memProd].completeCycle > m.now) {
-            // Load read stale data while the store is in flight.
-            m.pendingViolations.push_back({i, d.memProd});
-        }
-        it = m.sched.erase(it);
-        --fu;
+    }
+    // Budget exhausted: the unexamined tail stays verbatim, exactly
+    // like the reference loop leaving it untouched.
+    _divertKeep.insert(_divertKeep.end(), q.begin() + j, q.end());
+    q.swap(_divertKeep);
+}
+
+void
+Backend::issueCompact(MachineState &m)
+{
+    // Repair oldest-first order: survivors of the previous scan are
+    // already sorted, and rename/divert-release appended short
+    // ascending runs behind them, so an adaptive insertion pass
+    // restores full order in ~n comparisons — no per-cycle sort.
+    std::vector<TraceIdx> &q = m.sched;
+    for (size_t j = 1; j < q.size(); ++j) {
+        TraceIdx v = q[j];
+        size_t k = j;
+        for (; k > 0 && q[k - 1] > v; --k)
+            q[k] = q[k - 1];
+        q[k] = v;
+    }
+
+    int fu = m.cfg.numFUs;
+    _schedKeep.clear();
+    // Ascending age keys let the owning task be resolved by walking
+    // the (begin-sorted) task table in lockstep instead of a binary
+    // search per entry.
+    size_t cursor = 0;
+    size_t j = 0;
+    for (; j < q.size() && fu > 0; ++j) {
+        TraceIdx i = q[j];
+        if (m.istate[i].stage != InstrStage::InSched)
+            continue;  // squashed while scheduled: drop
+        while (cursor < m.tasks.size() &&
+               m.tasks[cursor].end <= i)
+            ++cursor;
+        Task *t = cursor < m.tasks.size() &&
+                m.tasks[cursor].begin <= i
+            ? &m.tasks[cursor]
+            : nullptr;
+        if (tryIssue(m, i, t))
+            --fu;
+        else
+            _schedKeep.push_back(i);
+    }
+    _schedKeep.insert(_schedKeep.end(), q.begin() + j, q.end());
+    q.swap(_schedKeep);
+}
+
+void
+Backend::releaseDiverted(std::span<MachineState *const> machines)
+{
+    for (MachineState *m : machines) {
+        if (!m->divert.empty())
+            releaseDivertedCompact(*m);
+    }
+}
+
+void
+Backend::issue(std::span<MachineState *const> machines)
+{
+    for (MachineState *m : machines) {
+        if (!m->sched.empty())
+            issueCompact(*m);
     }
 }
 

@@ -1,0 +1,202 @@
+#include "sim/batch.hh"
+
+#include <span>
+#include <stdexcept>
+
+#include "sim/accounting.hh"
+#include "sim/stage_timer.hh"
+
+namespace polyflow::sim {
+
+namespace {
+
+/** Same deadlock diagnostic as the scalar run loop, plus which
+ *  batch member hung. */
+[[noreturn]] void
+throwCycleLimit(const MachineState &m, const std::string &label)
+{
+    std::string msg =
+        "MachineBatch: cycle limit exceeded (deadlock?) in \"" +
+        label + "\" at commitIdx " + std::to_string(m.commitIdx) +
+        " stage=" +
+        std::to_string(int(m.istate[m.commitIdx].stage)) +
+        " sched=" + std::to_string(m.sched.size()) +
+        " divert=" + std::to_string(m.divert.size()) +
+        " rob=" + std::to_string(m.robUsed) + " tasks=[";
+    for (const Task &t : m.tasks) {
+        msg += "(" + std::to_string(t.begin) + "," +
+            std::to_string(t.end) + ",f" +
+            std::to_string(t.fetchIdx) + ",d" +
+            std::to_string(t.dispIdx) + ",blk" +
+            std::to_string(t.blockedOnBranch == invalidTrace
+                               ? -1
+                               : int(t.blockedOnBranch)) +
+            ",rdy" + std::to_string(t.fetchReady) + ")";
+    }
+    msg += "]";
+    throw std::runtime_error(msg);
+}
+
+} // namespace
+
+MachineBatch::MachineBatch(const MachineConfig &config)
+    : _cfg(config)
+{
+}
+
+MachineBatch::~MachineBatch() = default;
+
+size_t
+MachineBatch::add(const Trace &trace, SpawnSource *source,
+                  const TraceIndex *index, std::string label,
+                  std::vector<TaskEvent> *events)
+{
+    if (_ran)
+        throw std::runtime_error("MachineBatch::add after run");
+    auto m = std::make_unique<MachineState>(_cfg, trace, source,
+                                            index);
+    m->events = events;
+    _machines.push_back(std::move(m));
+    _labels.push_back(std::move(label));
+    return _machines.size() - 1;
+}
+
+/*
+ * The stage-major loop. Per machine this is the exact stage
+ * sequence of TimingSim::run —
+ *
+ *   unblock -> commit -> [finish?] -> accounting -> divert-release
+ *   -> issue -> rename -> fetch(+spawn) -> violations/squash
+ *
+ * — only the iteration order changes: each stage runs over every
+ * live machine before the next stage starts, so the stage's code
+ * and lookup tables stay resident across the batch. Machines are
+ * independent, so the per-machine result is identical either way.
+ */
+std::vector<TimingResult>
+MachineBatch::run()
+{
+    if (_ran)
+        throw std::runtime_error("MachineBatch::run called twice");
+    _ran = true;
+
+    const size_t n = _machines.size();
+    std::vector<TimingResult> out(n);
+    // The live set, in add order, with each machine's output slot
+    // and cycle limit; all three compact in lockstep as machines
+    // finish.
+    std::vector<MachineState *> live;
+    std::vector<size_t> liveOut;
+    std::vector<std::uint64_t> liveLimit;
+    live.reserve(n);
+    liveOut.reserve(n);
+    liveLimit.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        MachineState &m = *_machines[i];
+        m.res.policyName = _labels[i];
+        m.res.instrs = m.trace->size();
+        m.res.issueWidth = std::uint64_t(m.cfg.pipelineWidth);
+        live.push_back(&m);
+        liveOut.push_back(i);
+        liveLimit.push_back(std::uint64_t(200) * m.trace->size() +
+                            1'000'000);
+    }
+    if (_profile)
+        _profile->machines += n;
+
+    auto slot = [this](std::uint64_t StageProfile::*field) {
+        return _profile ? &(_profile->*field) : nullptr;
+    };
+
+    while (!live.empty()) {
+        {
+            ScopedNs t(slot(&StageProfile::commitNs));
+            for (MachineState *m : live) {
+                _commit.unblock(*m);
+                _commit.step(*m);
+            }
+        }
+        // Machines whose last instruction just committed finish on
+        // this partial cycle (which, as in the scalar loop, does
+        // not advance their clock and is not accounted) and drop
+        // out of the live set without disturbing the others.
+        size_t w = 0;
+        for (size_t r = 0; r < live.size(); ++r) {
+            MachineState &m = *live[r];
+            if (m.commitIdx >= m.trace->size()) {
+                m.res.cycles = m.now;
+                m.res.icacheMisses = m.hier.l1i().misses();
+                m.res.dcacheMisses = m.hier.l1d().misses();
+                out[liveOut[r]] = m.res;
+                continue;
+            }
+            live[w] = live[r];
+            liveOut[w] = liveOut[r];
+            liveLimit[w] = liveLimit[r];
+            ++w;
+        }
+        live.resize(w);
+        liveOut.resize(w);
+        liveLimit.resize(w);
+        if (live.empty())
+            break;
+
+        std::span<MachineState *const> ms(live);
+        {
+            ScopedNs t(slot(&StageProfile::accountingNs));
+            for (MachineState *m : live)
+                accountCycle(*m);
+        }
+        {
+            ScopedNs t(slot(&StageProfile::divertNs));
+            _backend.releaseDiverted(ms);
+        }
+        {
+            ScopedNs t(slot(&StageProfile::issueNs));
+            _backend.issue(ms);
+        }
+        {
+            ScopedNs t(slot(&StageProfile::renameNs));
+            _rename.step(ms);
+        }
+        {
+            ScopedNs t(slot(&StageProfile::fetchNs));
+            _frontend.fetch(ms);  // includes applySpawn per machine
+        }
+        {
+            ScopedNs t(slot(&StageProfile::recoveryNs));
+            for (MachineState *m : live)
+                _recovery.step(*m);
+        }
+        for (size_t r = 0; r < live.size(); ++r) {
+            MachineState &m = *live[r];
+            ++m.now;
+            if (m.now > liveLimit[r])
+                throwCycleLimit(m, m.res.policyName);
+        }
+        if (_profile)
+            _profile->cycles += live.size();
+    }
+    return out;
+}
+
+} // namespace polyflow::sim
+
+namespace polyflow {
+
+std::vector<TimingResult>
+TimingSim::runBatch(const MachineConfig &config,
+                    std::span<const BatchItem> items,
+                    StageProfile *profile)
+{
+    sim::MachineBatch batch(config);
+    for (const BatchItem &item : items) {
+        batch.add(*item.trace, item.source, item.index, item.label,
+                  item.events);
+    }
+    if (profile)
+        batch.profileStages(profile);
+    return batch.run();
+}
+
+} // namespace polyflow

@@ -20,6 +20,8 @@ struct CacheConfig
     int lineBytes;
     /** Extra cycles paid when this level misses. */
     int missLatency;
+
+    bool operator==(const CacheConfig &) const = default;
 };
 
 /** The PolyFlow machine configuration (defaults = Figure 8). */
@@ -124,6 +126,10 @@ struct MachineConfig
         c.fetchTasksPerCycle = 1;
         return c;
     }
+
+    /** Memberwise equality; the sweep engine batches cells that
+     *  share a configuration (driver/sweep.hh). */
+    bool operator==(const MachineConfig &) const = default;
 
     std::string describe() const;
 };

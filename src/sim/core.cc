@@ -1,38 +1,13 @@
 #include "sim/core.hh"
 
-#include <chrono>
 #include <stdexcept>
 
 #include "sim/accounting.hh"
+#include "sim/stage_timer.hh"
 
 namespace polyflow {
 
-namespace {
-
-/** Accumulates the scope's wall time into *slot when non-null. */
-class ScopedNs
-{
-  public:
-    explicit ScopedNs(std::uint64_t *slot) : _slot(slot)
-    {
-        if (_slot)
-            _t0 = std::chrono::steady_clock::now();
-    }
-    ~ScopedNs()
-    {
-        if (_slot) {
-            *_slot += std::uint64_t(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now() - _t0)
-                    .count());
-        }
-    }
-  private:
-    std::uint64_t *_slot;
-    std::chrono::steady_clock::time_point _t0;
-};
-
-} // namespace
+using sim::ScopedNs;
 
 TimingSim::TimingSim(const MachineConfig &config, const Trace &trace,
                      SpawnSource *source,
@@ -54,6 +29,9 @@ TimingSim::run(const std::string &policyName)
 
     const std::uint64_t cycleLimit =
         std::uint64_t(200) * m.trace->size() + 1'000'000;
+
+    if (_profile)
+        ++_profile->machines;
 
     auto slot = [this](std::uint64_t StageProfile::*field) {
         return _profile ? &(_profile->*field) : nullptr;

@@ -25,6 +25,7 @@
 #define POLYFLOW_SIM_CORE_HH
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,7 +46,12 @@ namespace polyflow {
 /**
  * Wall-clock time spent inside each stage module over a run,
  * accumulated only when profiling is enabled (TimingSim::
- * profileStages); bench/micro_timing_sim reports the breakdown.
+ * profileStages, MachineBatch::profileStages);
+ * bench/micro_timing_sim reports the breakdown.
+ *
+ * A batched run accumulates each stage's time across the whole
+ * batch and counts one profiled cycle per live machine per step, so
+ * stageNs / cycles is the per-machine average either way.
  */
 struct StageProfile
 {
@@ -56,7 +62,34 @@ struct StageProfile
     std::uint64_t renameNs = 0;      //!< rename/dispatch
     std::uint64_t fetchNs = 0;       //!< fetch + spawn unit
     std::uint64_t recoveryNs = 0;    //!< violations + squash
-    std::uint64_t cycles = 0;        //!< simulated cycles profiled
+    /** Machine-cycles profiled (over all machines of a batch). */
+    std::uint64_t cycles = 0;
+    std::uint64_t machines = 0;      //!< machines profiled
+
+    /** Wall time across all stages. */
+    std::uint64_t
+    totalNs() const
+    {
+        return commitNs + accountingNs + divertNs + issueNs +
+            renameNs + fetchNs + recoveryNs;
+    }
+};
+
+/** One machine's inputs for a batched run (TimingSim::runBatch). */
+struct BatchItem
+{
+    /** Committed dynamic trace from the functional sim. */
+    const Trace *trace = nullptr;
+    /** Spawn source, or nullptr for the superscalar baseline. Must
+     *  be private to this machine when it trains. */
+    SpawnSource *source = nullptr;
+    /** Precomputed indexes over @c trace (shared read-only), or
+     *  nullptr to build private ones when spawning is enabled. */
+    const TraceIndex *index = nullptr;
+    /** Reported as TimingResult::policyName. */
+    std::string label;
+    /** Optional task-lifecycle event sink for this machine. */
+    std::vector<TaskEvent> *events = nullptr;
 };
 
 /**
@@ -93,6 +126,19 @@ class TimingSim
     /** Accumulate per-stage wall time into @p sink (optional; call
      *  before run()). */
     void profileStages(StageProfile *sink) { _profile = sink; }
+
+    /**
+     * Batched entry point: run every machine of @p items (same
+     * machine config, independent traces) to completion through the
+     * stage-major batch engine (sim/batch.hh) and return their
+     * statistics in item order. Results are cycle-identical to
+     * running each item through TimingSim::run. @p profile, when
+     * non-null, accumulates per-stage wall time across the batch.
+     */
+    static std::vector<TimingResult>
+    runBatch(const MachineConfig &config,
+             std::span<const BatchItem> items,
+             StageProfile *profile = nullptr);
 
   private:
     sim::MachineState _m;

@@ -8,6 +8,9 @@
 #ifndef POLYFLOW_SIM_FRONTEND_HH
 #define POLYFLOW_SIM_FRONTEND_HH
 
+#include <span>
+#include <vector>
+
 #include "sim/machine_state.hh"
 
 namespace polyflow::sim {
@@ -32,9 +35,23 @@ class Frontend
      */
     void applySpawn(MachineState &m);
 
+    /**
+     * Batched form: fetch() followed by applySpawn() for each
+     * machine in the span, reusing one eligible-task scratch buffer
+     * instead of allocating one per machine per cycle. Identical
+     * per-machine behavior to the scalar pair (shared
+     * implementation).
+     */
+    void fetch(std::span<MachineState *const> machines);
+
   private:
+    void fetchImpl(MachineState &m, std::vector<size_t> &eligible);
     void maybeSpawn(MachineState &m, Task &t, TraceIdx i,
                     const LinkedInstr &li);
+
+    /** Eligible-task scratch of the batched form, reused across
+     *  machines and cycles. */
+    std::vector<size_t> _eligible;
 };
 
 } // namespace polyflow::sim

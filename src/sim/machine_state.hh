@@ -29,7 +29,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -177,8 +176,16 @@ struct MachineState
     /** @name Pipeline state @{ */
     std::vector<InstrState> istate;  //!< indexed by trace position
     std::vector<Task> tasks;         //!< active tasks, oldest first
-    std::vector<TraceIdx> sched;     //!< scheduler occupancy
-    std::deque<DivertEntry> divert;  //!< divert-queue occupancy
+    /** Scheduler occupancy: age keys (trace indexes) in dispatch
+     *  order. The scalar backend sorts oldest-first each cycle; the
+     *  batched backend repairs order incrementally instead
+     *  (backend.hh), so both select with the same oldest-first
+     *  scan. */
+    std::vector<TraceIdx> sched;
+    /** Divert-queue occupancy, FIFO. A flat vector: entries only
+     *  append at the tail and leave by compaction/erase, never by
+     *  front-pop. */
+    std::vector<DivertEntry> divert;
     std::vector<Violation> pendingViolations;
     int robUsed = 0;
     TraceIdx commitIdx = 0;

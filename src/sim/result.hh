@@ -31,6 +31,8 @@ struct TaskEvent
     /** Instructions this task sent through the divert queue during
      *  the incarnation ending here (Retire/Squash; 0 for Spawn). */
     std::uint32_t diverted = 0;
+
+    bool operator==(const TaskEvent &) const = default;
 };
 
 /**
@@ -151,6 +153,11 @@ struct TimingResult
     std::uint64_t icacheMisses = 0;
     std::uint64_t dcacheMisses = 0;
     /** @} */
+
+    /** Memberwise equality — every counter, bucket and label. The
+     *  batched-equals-scalar tests compare entire results with
+     *  this. */
+    bool operator==(const TimingResult &) const = default;
 
     double
     ipc() const

@@ -259,5 +259,43 @@ TEST(SweepEngine, DefaultJobsHonorsEnvironment)
     EXPECT_GE(driver::defaultJobs(), 1);
 }
 
+TEST(SweepEngine, BatchedSweepMatchesScalarSweep)
+{
+    // The grid mixes two machine configs (superscalar + default), so
+    // batching must group by config, chunk each group, and still put
+    // every result back at its cell index. Width 1 is the scalar
+    // TimingSim::run reference path; width 3 leaves a remainder
+    // chunk smaller than the width.
+    const auto cells = grid();
+    driver::SweepRunner scalar(4, 1);
+    driver::SweepRunner batched(4, 3);
+    EXPECT_EQ(scalar.batchWidth(), 1);
+    EXPECT_EQ(batched.batchWidth(), 3);
+    const auto ref = scalar.run(cells, /*report=*/false);
+    const auto out = batched.run(cells, /*report=*/false);
+
+    ASSERT_EQ(out.size(), ref.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i) + " (" +
+                     cells[i].workload + "/" + cells[i].label + ")");
+        EXPECT_EQ(out[i].sim, ref[i].sim);
+    }
+    // Baseline cells have no spawn source; policy cells keep theirs
+    // inspectable, batched or not.
+    for (size_t i = 0; i < cells.size(); ++i) {
+        bool baseline = cells[i].source.kind ==
+            driver::SourceSpec::Kind::Baseline;
+        EXPECT_EQ(out[i].source == nullptr, baseline);
+    }
+}
+
+TEST(SweepEngine, DefaultBatchWidthHonorsEnvironment)
+{
+    ASSERT_EQ(setenv("PF_BENCH_BATCH", "5", 1), 0);
+    EXPECT_EQ(driver::defaultBatchWidth(), 5);
+    ASSERT_EQ(unsetenv("PF_BENCH_BATCH"), 0);
+    EXPECT_EQ(driver::defaultBatchWidth(), 8);
+}
+
 } // namespace
 } // namespace polyflow

@@ -254,13 +254,12 @@ TEST(Stages, Sha256MatchesKnownVector)
               "b00361a396177a9cb410ff61f20015ad");
 }
 
-TEST(Stages, GoldenFig09StatsAreCycleIdenticalToSeed)
+/** The full fig09 grid (every workload, superscalar + all six
+ *  policies) at reduced scale, exported through the stats layer and
+ *  hashed. */
+std::string
+fig09GridHash(int batchWidth)
 {
-    // The full fig09 grid (every workload, superscalar + all six
-    // policies) at reduced scale, exported through the stats layer
-    // and hashed. The constant below was produced by the simulator
-    // BEFORE the stage decomposition: any cycle, slot-bucket or
-    // task-event drift anywhere in the pipeline changes it.
     const std::vector<SpawnPolicy> policies = {
         SpawnPolicy::loop(),   SpawnPolicy::loopFT(),
         SpawnPolicy::procFT(), SpawnPolicy::hammock(),
@@ -278,17 +277,145 @@ TEST(Stages, GoldenFig09StatsAreCycleIdenticalToSeed)
                              MachineConfig{}, p.name});
         }
     }
-    driver::SweepRunner runner(4);
+    driver::SweepRunner runner(4, batchWidth);
     const auto results = runner.run(cells, false);
     std::vector<stats::RunRecord> recs;
     for (size_t i = 0; i < cells.size(); ++i) {
         recs.push_back({cells[i].workload, cells[i].scale,
                         cells[i].label, results[i].sim});
     }
-    EXPECT_EQ(
-        store::sha256Hex(stats::toJson(recs)),
-        "6e0f8abd7a59adc605ac66c775f2c4b9c159e4842c9f3018d2ab931e"
-        "1d781e77");
+    return store::sha256Hex(stats::toJson(recs));
+}
+
+/** The constant below was produced by the simulator BEFORE the
+ *  stage decomposition: any cycle, slot-bucket or task-event drift
+ *  anywhere in the pipeline changes it. */
+const char *const kFig09GoldenSha =
+    "6e0f8abd7a59adc605ac66c775f2c4b9c159e4842c9f3018d2ab931e"
+    "1d781e77";
+
+TEST(Stages, GoldenFig09StatsAreCycleIdenticalToSeed)
+{
+    // Width 1 = the scalar TimingSim::run reference path.
+    EXPECT_EQ(fig09GridHash(1), kFig09GoldenSha);
+}
+
+TEST(Stages, GoldenFig09StatsAreCycleIdenticalWhenBatched)
+{
+    // Same grid through the stage-major batch engine: batching must
+    // not move a single cycle, slot or task event.
+    EXPECT_EQ(fig09GridHash(8), kFig09GoldenSha);
+}
+
+// ---------------------------------------------------------------
+// Batch engine (sim/batch.hh): cycle-identity against the scalar
+// reference path and the live-set edge cases.
+// ---------------------------------------------------------------
+
+/** Scalar reference run over freshly prepared inputs. */
+TimingResult
+scalarRun(Session &s, const driver::SourceSpec &spec,
+          const MachineConfig &cfg, const std::string &label,
+          std::vector<TaskEvent> *events = nullptr)
+{
+    PreparedRun run = s.prepare(spec, label);
+    TimingSim sim(cfg, run.trace(), run.source.get(),
+                  run.index.get());
+    if (events)
+        sim.traceTasks(events);
+    return sim.run(label);
+}
+
+TEST(Batch, EmptyBatchReturnsNoResults)
+{
+    std::vector<BatchItem> none;
+    EXPECT_TRUE(TimingSim::runBatch(MachineConfig{}, none).empty());
+}
+
+TEST(Batch, OfOneIsCycleIdenticalToScalar)
+{
+    Session s = Session::open("twolf", 0.04);
+    const MachineConfig cfg;
+    const auto spec =
+        driver::SourceSpec::statics(SpawnPolicy::postdoms());
+
+    std::vector<TaskEvent> refEvents;
+    TimingResult ref =
+        scalarRun(s, spec, cfg, "postdoms", &refEvents);
+
+    std::vector<TaskEvent> batchEvents;
+    PreparedRun run = s.prepare(spec, "postdoms");
+    std::vector<BatchItem> items = {run.item(&batchEvents)};
+    const auto out = TimingSim::runBatch(cfg, items);
+
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], ref);
+    EXPECT_EQ(batchEvents, refEvents);
+}
+
+TEST(Batch, HeterogeneousTracesFinishIndependently)
+{
+    // Machines over different workloads and scales — different trace
+    // lengths, so they leave the live set at different cycles — plus
+    // a baseline machine (no spawn source) riding in the same batch.
+    // Every per-machine result must match its own scalar run, in
+    // add order.
+    const MachineConfig cfg;
+    const auto postdoms =
+        driver::SourceSpec::statics(SpawnPolicy::postdoms());
+    const auto baseline = driver::SourceSpec::baseline();
+
+    Session twolfSmall = Session::open("twolf", 0.02);
+    Session twolfBig = Session::open("twolf", 0.06);
+    Session mcf = Session::open("mcf", 0.04);
+
+    struct Case
+    {
+        Session *session;
+        driver::SourceSpec spec;
+        std::string label;
+    };
+    std::vector<Case> cases = {
+        {&twolfBig, postdoms, "pd-big"},
+        {&twolfSmall, postdoms, "pd-small"},
+        {&mcf, baseline, "base-mcf"},
+        {&twolfSmall, baseline, "base-small"},
+    };
+
+    std::vector<TimingResult> refs;
+    for (Case &c : cases)
+        refs.push_back(scalarRun(*c.session, c.spec, cfg, c.label));
+
+    std::vector<PreparedRun> runs;
+    for (Case &c : cases)
+        runs.push_back(c.session->prepare(c.spec, c.label));
+    std::vector<BatchItem> items;
+    for (const PreparedRun &r : runs)
+        items.push_back(r.item());
+    const auto out = TimingSim::runBatch(cfg, items);
+
+    ASSERT_EQ(out.size(), cases.size());
+    // Distinct finish cycles, so the live-set compaction actually
+    // triggers mid-run (not only at the very end).
+    EXPECT_NE(out[0].cycles, out[1].cycles);
+    EXPECT_NE(out[1].cycles, out[2].cycles);
+    for (size_t i = 0; i < cases.size(); ++i) {
+        EXPECT_EQ(out[i], refs[i]) << cases[i].label;
+    }
+}
+
+TEST(Batch, RunTwiceThrows)
+{
+    Session s = Session::open("twolf", 0.02);
+    PreparedRun run =
+        s.prepare(driver::SourceSpec::baseline(), "base");
+    sim::MachineBatch batch{MachineConfig::superscalar()};
+    batch.add(run.trace(), nullptr, nullptr, "base");
+    EXPECT_EQ(batch.size(), 1u);
+    batch.run();
+    EXPECT_THROW(batch.run(), std::runtime_error);
+    EXPECT_THROW(batch.add(run.trace(), nullptr, nullptr, "late"),
+                 std::runtime_error);
 }
 
 } // namespace
